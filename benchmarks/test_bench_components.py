@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the computational building blocks.
+
+Not a paper table — these measure the cost of the inner loops that determine
+the harness's wall-clock time (one phase-dynamics integration step, one full
+49-node run, the SAT baseline, the power model), so performance regressions in
+the substrate are visible independently of the experiment-level benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import PowerModel
+from repro.core import MSROPM, MSROPMConfig
+from repro.core.stages import partition_coupling_matrix
+from repro.dynamics import CoupledOscillatorModel, integrate_euler_maruyama
+from repro.graphs import kings_graph
+from repro.sat import sat_coloring
+
+
+def test_bench_dynamics_step_2116_nodes(benchmark):
+    """One Euler-Maruyama step of the full-size (2116-oscillator) phase model."""
+    graph = kings_graph(46, 46)
+    config = MSROPMConfig()
+    matrix = partition_coupling_matrix(
+        graph.edge_index_array(), np.zeros(graph.num_nodes, dtype=int), graph.num_nodes, config.coupling_rate
+    )
+    model = CoupledOscillatorModel(coupling_matrix=matrix, shil_strength=config.shil_rate)
+    phases = np.random.default_rng(0).uniform(0, 2 * np.pi, graph.num_nodes)
+
+    def one_step():
+        return integrate_euler_maruyama(
+            model, phases, duration=config.time_step, dt=config.time_step,
+            noise_amplitude=config.phase_noise_diffusion, seed=1,
+        )
+
+    trajectory = benchmark(one_step)
+    assert trajectory.final_phases.shape == (2116,)
+
+
+def test_bench_single_49_node_run(benchmark, bench_config):
+    """One complete 2-stage MSROPM run on the 49-node benchmark."""
+    machine = MSROPM(kings_graph(7, 7), bench_config)
+    result = benchmark.pedantic(machine.run_iteration, kwargs={"seed": 5}, rounds=3, iterations=1)
+    assert result.accuracy >= 0.85
+
+
+def test_bench_sat_exact_coloring_49_nodes(benchmark):
+    """The exact SAT baseline on the 49-node benchmark (4-coloring)."""
+    graph = kings_graph(7, 7)
+    coloring = benchmark.pedantic(sat_coloring, args=(graph, 4), rounds=1, iterations=1)
+    assert coloring is not None and coloring.is_proper(graph)
+
+
+def test_bench_power_model_full_sweep(benchmark):
+    """Power-model evaluation across the four Table 1 fabric sizes."""
+    model = PowerModel()
+    sides = (7, 20, 32, 46)
+
+    def evaluate():
+        totals = []
+        for side in sides:
+            graph = kings_graph(side, side)
+            totals.append(model.total_power(graph.num_nodes, graph.num_edges))
+        return totals
+
+    totals = benchmark(evaluate)
+    assert totals == sorted(totals)

@@ -1,0 +1,29 @@
+"""Benchmark: self-annealing diagnostics behind the Figure 3 narrative.
+
+Instruments one MSROPM run and prints, per control interval, the coupling
+(vector-Potts) energy and the 2nd-harmonic phase-binarization order parameter
+— the quantitative counterpart of the paper's description that the oscillators
+"naturally move (i.e. self-anneal) towards ground states" during the coupled
+intervals and lock onto the SHIL grid during the injection intervals.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_energy_landscape, run_energy_landscape
+
+
+def test_bench_energy_landscape(benchmark, bench_config):
+    result = run_once(
+        benchmark,
+        run_energy_landscape,
+        rows=5,
+        cols=5,
+        config=bench_config.with_updates(record_every=1),
+        seed=21,
+    )
+    print()
+    print(render_energy_landscape(result))
+    assert result.interval("anneal-1").energy_drop > 0.0
+    assert result.interval("shil-1").binarization_end > 0.9
+    assert result.accuracy >= 0.85

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 3 (ROSC waveforms across the MSROPM computation cycles).
+
+Prints the per-interval phase-cluster summary (2-phase stability after SHIL 1,
+4-phase stability after the SHIL 1 / SHIL 2 stage) and an ASCII rendering of a
+traced oscillator's reconstructed output waveform.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_figure3, run_figure3
+
+
+def test_bench_figure3_waveforms(benchmark, bench_config):
+    result = run_once(
+        benchmark,
+        run_figure3,
+        rows=4,
+        cols=4,
+        config=bench_config.with_updates(record_every=1),
+        seed=7,
+    )
+    print()
+    print(render_figure3(result))
+    # The final stage must produce 4-phase stability (at most 4 occupied bins)
+    # and the intermediate SHIL-1 stage must produce 2-phase stability.
+    after_shil1 = next(s for s in result.snapshots if s.label == "shil-1")
+    assert after_shil1.num_phase_clusters <= 3
+    assert result.final_num_clusters <= 4
+    assert result.iteration.accuracy >= 0.9

@@ -1,0 +1,85 @@
+"""Benchmarks: regenerate Figure 5 — (a) 4-coloring accuracy per iteration,
+(b) 1st-stage max-cut accuracy per iteration, and (c) the Hamming-distance
+histograms between the iteration solutions.
+
+The three panels share one set of runs per problem size; each benchmark
+regenerates and prints its own panel so the harness reports them separately
+(as the paper's figure does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import accuracy_series_text, text_histogram
+from repro.experiments import FIGURE5_SIZES, run_figure5
+
+
+@pytest.fixture(scope="module")
+def figure5_sizes(bench_scale):
+    """Problem sizes for the Figure 5 panels (the paper plots 49/400/1024)."""
+    return FIGURE5_SIZES if bench_scale == 1.0 else (49, 400)
+
+
+def test_bench_figure5a_coloring_accuracy(benchmark, bench_config, bench_scale, bench_iterations, figure5_sizes):
+    result = run_once(
+        benchmark,
+        run_figure5,
+        sizes=figure5_sizes,
+        iterations=bench_iterations,
+        scale=bench_scale,
+        config=bench_config,
+        seed=2025,
+    )
+    print()
+    print("Figure 5(a): 2nd-stage 4-coloring accuracy per iteration")
+    for series in result.series:
+        print(accuracy_series_text(series.coloring_accuracies, label=f"  {series.problem_name}"))
+        print(
+            f"    best={series.best_accuracy:.3f} mean={series.mean_accuracy:.3f} "
+            f"(paper best: 1.00 at 49 nodes, ~0.97-0.98 at larger sizes)"
+        )
+    for series in result.series:
+        assert series.best_accuracy >= 0.9
+        assert np.all((0.0 <= series.coloring_accuracies) & (series.coloring_accuracies <= 1.0))
+
+
+def test_bench_figure5b_maxcut_accuracy(benchmark, bench_config, bench_scale, bench_iterations, figure5_sizes):
+    result = run_once(
+        benchmark,
+        run_figure5,
+        sizes=figure5_sizes,
+        iterations=bench_iterations,
+        scale=bench_scale,
+        config=bench_config,
+        seed=2026,
+    )
+    print()
+    print("Figure 5(b): 1st-stage max-cut accuracy per iteration")
+    for series in result.series:
+        print(accuracy_series_text(series.maxcut_accuracies, label=f"  {series.problem_name}"))
+        print(f"    stage-1 vs final correlation: {series.stage_correlation:+.3f} (paper: positive)")
+    for series in result.series:
+        assert series.maxcut_accuracies.min() >= 0.7
+
+
+def test_bench_figure5c_hamming_histograms(benchmark, bench_config, bench_scale, bench_iterations, figure5_sizes):
+    result = run_once(
+        benchmark,
+        run_figure5,
+        sizes=figure5_sizes,
+        iterations=bench_iterations,
+        scale=bench_scale,
+        config=bench_config,
+        seed=2027,
+    )
+    print()
+    print("Figure 5(c): pairwise Hamming distances between the iteration solutions")
+    for series in result.series:
+        print(text_histogram(series.hamming_distances, num_bins=10, value_range=(0.0, 1.0),
+                             label=f"  {series.problem_name}"))
+    for series in result.series:
+        # Solutions from different runs are substantially different (paper Sec. 4.1).
+        assert series.hamming_distances.max() > 0.1

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table 2 (comparison with prior work).
+
+The MSROPM, the single-stage 3-SHIL ROPM and the ROIM max-cut rows are
+measured by running the re-implementations; the optical/hybrid rows are cited
+from the paper (their hardware cannot be re-implemented in this substrate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import FULL_SCALE, run_once
+from repro.experiments import run_table2
+
+
+def test_bench_table2_comparison(benchmark, bench_config, bench_scale, bench_iterations):
+    msropm_nodes = 2116 if FULL_SCALE else 400
+    comparison_nodes = 400 if FULL_SCALE else 49
+    result = run_once(
+        benchmark,
+        run_table2,
+        msropm_nodes=msropm_nodes,
+        comparison_nodes=comparison_nodes,
+        iterations=bench_iterations,
+        scale=bench_scale,
+        config=bench_config,
+        seed=2025,
+    )
+    print()
+    print(result.render())
+    print()
+    print("Paper Table 2 reference: MSROPM 96%-97% at 2116 spins, 283.4 mW, 60 ns;")
+    print("[14]-style single-stage ROPM 83%-92%; ROIM [8] 89%-100% on max-cut.")
+    # Shape checks mirroring the paper's qualitative claims:
+    #  - the MSROPM reaches high 4-coloring accuracy,
+    #  - the single-stage N-SHIL machine trails it,
+    #  - the Ising machine solves its (easier) max-cut problem well.
+    assert result.msropm_accuracies.max() >= 0.9
+    assert result.msropm_accuracies.mean() >= result.ropm_accuracies.mean()
+    assert result.roim_accuracies.max() >= 0.8

@@ -1,0 +1,99 @@
+"""Collect the paper-vs-measured numbers recorded in EXPERIMENTS.md.
+
+Run with::
+
+    python examples/collect_paper_numbers.py [--iterations 40]
+
+This runs the full-size benchmark problems (49/400/1024/2116-node King's
+graphs) with the paper's 40 iterations each, prints the Table 1 rows, the
+Figure 5 summary statistics (per-problem accuracy series, stage-1 correlation,
+Hamming-distance spread), and the measured Table 2 rows.  It is the script
+that produced the measured values recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.analysis import format_table, text_histogram
+from repro.circuit import PAPER_POWER_MW, PowerModel
+from repro.core import MSROPM, MSROPMConfig
+from repro.experiments import run_table2
+from repro.graphs import kings_graph
+from repro.ising import kings_graph_reference_cut
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=40)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[49, 400, 1024, 2116])
+    parser.add_argument("--seed", type=int, default=2025)
+    args = parser.parse_args()
+
+    sides = {49: 7, 400: 20, 1024: 32, 2116: 46}
+    config = MSROPMConfig(num_colors=4, seed=args.seed)
+    power_model = PowerModel()
+
+    table1_rows = []
+    fig5_blocks = []
+    for size in args.sizes:
+        side = sides[size]
+        graph = kings_graph(side, side)
+        machine = MSROPM(graph, config)
+        start = time.time()
+        result = machine.solve(iterations=args.iterations, seed=args.seed + size)
+        elapsed = time.time() - start
+        power_mw = power_model.total_power_mw(graph.num_nodes, graph.num_edges)
+        table1_rows.append([
+            f"{size}-node",
+            f"4^{size}",
+            args.iterations,
+            f"{power_mw:.1f} mW (paper {PAPER_POWER_MW[size]:.1f} mW)",
+            f"{result.best_accuracy:.2f}",
+            f"{result.accuracies.mean():.3f}",
+            result.num_exact_solutions,
+            f"{elapsed:.0f} s",
+        ])
+        distances = result.hamming_distances()
+        fig5_blocks.append(
+            "\n".join(
+                [
+                    f"--- {size}-node problem ({args.iterations} iterations) ---",
+                    f"4-coloring accuracy:  best {result.best_accuracy:.3f}, "
+                    f"worst {result.accuracies.min():.3f}, mean {result.accuracies.mean():.3f}",
+                    f"stage-1 max-cut:      best {result.stage1_accuracies.max():.3f}, "
+                    f"worst {result.stage1_accuracies.min():.3f}, mean {result.stage1_accuracies.mean():.3f}",
+                    f"stage-1 vs final correlation: {result.stage_correlation():+.3f}",
+                    f"Hamming distances:    min {distances.min():.3f}, max {distances.max():.3f}, "
+                    f"mean {distances.mean():.3f}",
+                    text_histogram(distances, num_bins=10, value_range=(0.0, 1.0), label="Hamming histogram:"),
+                ]
+            )
+        )
+        print(f"finished {size}-node problem in {elapsed:.0f} s "
+              f"(best {result.best_accuracy:.3f}, mean {result.accuracies.mean():.3f})", flush=True)
+
+    print()
+    print(format_table(
+        ("Graph size", "Search space", "Iterations", "Average power", "Top accuracy",
+         "Mean accuracy", "Exact solutions", "Wall clock"),
+        table1_rows,
+        title="Table 1 (measured, full problem sizes)",
+    ))
+    print()
+    print("Figure 5 summaries")
+    for block in fig5_blocks:
+        print(block)
+        print()
+
+    print("Table 2 (measured rows, full scale)")
+    table2 = run_table2(msropm_nodes=2116, comparison_nodes=400, iterations=min(args.iterations, 20),
+                        scale=1.0, config=config, seed=args.seed)
+    print(table2.render())
+
+
+if __name__ == "__main__":
+    main()

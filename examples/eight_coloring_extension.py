@@ -1,0 +1,64 @@
+"""Extension demo: 8-coloring with three solution stages.
+
+The paper proposes extending the MSROPM to more colors by adding solution
+stages and phase-shifted SHILs.  This example exercises that extension: a
+planar graph (a random Delaunay triangulation) is colored with 8 colors using
+a three-stage machine (offsets 0, pi/4, ..., yielding 8 equally spaced lock
+phases), and the result is compared with the 4-color run and a classical
+DSATUR coloring.
+
+Run with::
+
+    python examples/eight_coloring_extension.py
+"""
+
+from __future__ import annotations
+
+from repro import MSROPM, MSROPMConfig
+from repro.analysis import format_table
+from repro.graphs import dsatur_coloring, random_planar_triangulation
+
+
+def main() -> None:
+    graph = random_planar_triangulation(120, seed=11)
+    print(f"Problem: coloring a random planar triangulation with "
+          f"{graph.num_nodes} nodes / {graph.num_edges} edges")
+    print()
+
+    rows = []
+    for num_colors in (4, 8):
+        config = MSROPMConfig(num_colors=num_colors, seed=3)
+        machine = MSROPM(graph, config, stage1_reference_cut=graph.num_edges)
+        result = machine.solve(iterations=8, seed=3)
+        rows.append([
+            f"MSROPM, {num_colors} colors ({config.num_stages} stages)",
+            f"{result.best_accuracy:.3f}",
+            f"{result.accuracies.mean():.3f}",
+            f"{machine.time_to_solution() * 1e9:.0f} ns",
+        ])
+        print(f"finished {num_colors}-color run "
+              f"(best accuracy {result.best_accuracy:.3f}, "
+              f"{config.num_stages} stages, {machine.time_to_solution() * 1e9:.0f} ns per run)")
+
+    dsatur = dsatur_coloring(graph)
+    rows.append([
+        f"DSATUR ({len(dsatur.used_colors())} colors used)",
+        f"{dsatur.accuracy(graph):.3f}",
+        f"{dsatur.accuracy(graph):.3f}",
+        "software",
+    ])
+
+    print()
+    print(format_table(
+        ("solver", "best accuracy", "mean accuracy", "time per run"),
+        rows,
+        title="4-coloring vs 8-coloring (3-stage extension) on a planar triangulation",
+    ))
+    print()
+    print("With 8 colors the constraint graph is far under-constrained, so the")
+    print("3-stage machine should reach (near-)proper colorings even more easily")
+    print("than the 2-stage 4-coloring run — at the cost of a 90 ns run time.")
+
+
+if __name__ == "__main__":
+    main()

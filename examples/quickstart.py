@@ -1,0 +1,61 @@
+"""Quickstart: solve the paper's 49-node 4-coloring benchmark with the MSROPM.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds the 7x7 King's graph (the smallest benchmark of the paper),
+runs the multi-stage ring-oscillator Potts machine for a handful of
+iterations, and prints the per-iteration accuracies together with the best
+solution found — mirroring the paper's observation that the 49-node problem is
+solved exactly in a fraction of the runs and near-exactly on average.
+"""
+
+from __future__ import annotations
+
+from repro import MSROPM, MSROPMConfig, kings_graph
+from repro.analysis import format_table
+
+
+def main() -> None:
+    graph = kings_graph(7, 7)
+    print(f"Problem: 4-coloring of a King's graph with {graph.num_nodes} nodes / {graph.num_edges} edges")
+    print(f"Potts search space: 4^{graph.num_nodes}")
+    print()
+
+    config = MSROPMConfig(num_colors=4, seed=2025)
+    machine = MSROPM(graph, config)
+    print(f"Machine: {machine.num_oscillators} coupled ring oscillators at "
+          f"{config.oscillator_frequency / 1e9:.1f} GHz, "
+          f"{config.total_run_time * 1e9:.0f} ns per run")
+    print()
+
+    result = machine.solve(iterations=10, seed=2025)
+
+    rows = [
+        [item.iteration_index,
+         f"{item.stage1_accuracy:.3f}",
+         f"{item.accuracy:.3f}",
+         "yes" if item.is_exact else "no"]
+        for item in result.iterations
+    ]
+    print(format_table(
+        ("iteration", "stage-1 (max-cut) accuracy", "4-coloring accuracy", "exact"),
+        rows,
+        title="Per-iteration results",
+    ))
+    print()
+    print(f"Best accuracy:   {result.best_accuracy:.3f}")
+    print(f"Mean accuracy:   {result.accuracies.mean():.3f}")
+    print(f"Exact solutions: {result.num_exact_solutions}/{result.num_iterations}")
+    print(f"Estimated power: {machine.estimated_power() * 1e3:.1f} mW")
+
+    best = result.best.coloring
+    print()
+    print("Best coloring (rows of the 7x7 board):")
+    for r in range(7):
+        print("  " + " ".join(str(best.color_of((r, c))) for c in range(7)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists only so
+that ``pip install -e .`` works in offline environments whose setuptools lacks
+the ``bdist_wheel`` command (no ``wheel`` package installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Analysis layer: statistics, sweeps, comparisons and text reporting."""
+
+from repro.analysis.statistics import (
+    IterationStatistics,
+    accuracy_percentiles,
+    expected_best_of_n,
+    iterations_to_reach,
+    time_to_solution,
+)
+from repro.analysis.reporting import (
+    accuracy_series_text,
+    format_float,
+    format_power_mw,
+    format_search_space,
+    format_table,
+    format_time_ns,
+    text_histogram,
+)
+from repro.analysis.sweep import (
+    SweepPoint,
+    SweepResult,
+    annealing_time_sweep,
+    coupling_strength_sweep,
+    shil_strength_sweep,
+    sweep_configuration,
+)
+from repro.analysis.comparison import (
+    LITERATURE_ROWS,
+    TABLE2_HEADERS,
+    ComparisonRow,
+    ComparisonTable,
+    accuracy_range_text,
+)
+from repro.analysis.results_io import (
+    load_solve_result,
+    save_solve_result,
+    solve_result_from_dict,
+    solve_result_to_dict,
+)
+
+__all__ = [
+    "IterationStatistics",
+    "time_to_solution",
+    "accuracy_percentiles",
+    "iterations_to_reach",
+    "expected_best_of_n",
+    "format_table",
+    "format_float",
+    "format_power_mw",
+    "format_time_ns",
+    "format_search_space",
+    "text_histogram",
+    "accuracy_series_text",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_configuration",
+    "coupling_strength_sweep",
+    "shil_strength_sweep",
+    "annealing_time_sweep",
+    "ComparisonRow",
+    "ComparisonTable",
+    "LITERATURE_ROWS",
+    "TABLE2_HEADERS",
+    "accuracy_range_text",
+    "save_solve_result",
+    "load_solve_result",
+    "solve_result_to_dict",
+    "solve_result_from_dict",
+]

@@ -1,0 +1,103 @@
+"""Plain-text rendering of tables and figure data.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers format them as aligned ASCII tables and simple text histograms
+so results are readable in terminal output, CI logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Every row must have the same number of cells as ``headers``; cells are
+    stringified with ``str``.
+    """
+    if not headers:
+        raise AnalysisError("a table needs at least one column")
+    str_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        str_rows.append([str(cell) for cell in row])
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in str_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float with a fixed number of decimals (NaN-safe)."""
+    if value != value:  # NaN
+        return "nan"
+    return f"{value:.{digits}f}"
+
+
+def format_power_mw(watts: float) -> str:
+    """Format a power value in milliwatts, the unit of Table 1."""
+    return f"{watts * 1e3:.1f} mW"
+
+
+def format_time_ns(seconds: float) -> str:
+    """Format a duration in nanoseconds, the unit of the paper's run times."""
+    return f"{seconds * 1e9:.0f} ns"
+
+
+def format_search_space(num_nodes: int, num_colors: int) -> str:
+    """Format the search-space size the way Table 1 does (``K^n``)."""
+    return f"{num_colors}^{num_nodes}"
+
+
+def text_histogram(
+    values: Sequence[float],
+    num_bins: int = 10,
+    value_range: Optional[tuple] = None,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """Render a horizontal text histogram (used for the Fig. 5(c) data)."""
+    if num_bins < 1:
+        raise AnalysisError("num_bins must be at least 1")
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        return f"{label}(no data)"
+    counts, edges = np.histogram(values, bins=num_bins, range=value_range)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [label] if label else []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{edges[i]:.2f}, {edges[i + 1]:.2f}) {str(count).rjust(5)} {bar}")
+    return "\n".join(lines)
+
+
+def accuracy_series_text(accuracies: Sequence[float], label: str = "", per_line: int = 10) -> str:
+    """Render a per-iteration accuracy series (the Fig. 5(a)/(b) data) as text."""
+    values = list(accuracies)
+    lines = [label] if label else []
+    for start in range(0, len(values), per_line):
+        chunk = values[start:start + per_line]
+        lines.append(
+            " ".join(f"{value:5.3f}" for value in chunk)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Iteration statistics: accuracy distributions, success probabilities, time-to-solution.
+
+These are the aggregate quantities the paper's evaluation reports on top of
+raw per-iteration accuracies: best/average accuracy (Table 1), exact-solution
+counts (e.g. "6 times among 40 iterations" for the 49-node problem), and the
+time-to-solution metrics customary for probabilistic solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.core.results import SolveResult
+
+
+@dataclass(frozen=True)
+class IterationStatistics:
+    """Summary statistics of a multi-iteration experiment."""
+
+    num_iterations: int
+    best_accuracy: float
+    worst_accuracy: float
+    mean_accuracy: float
+    std_accuracy: float
+    num_exact: int
+    success_probability: float
+
+    @classmethod
+    def from_result(cls, result: SolveResult, exact_threshold: float = 1.0) -> "IterationStatistics":
+        """Build statistics from a :class:`SolveResult`."""
+        accuracies = result.accuracies
+        exact = int(np.sum(accuracies >= exact_threshold - 1e-12))
+        return cls(
+            num_iterations=result.num_iterations,
+            best_accuracy=float(accuracies.max()),
+            worst_accuracy=float(accuracies.min()),
+            mean_accuracy=float(accuracies.mean()),
+            std_accuracy=float(accuracies.std()),
+            num_exact=exact,
+            success_probability=exact / result.num_iterations,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the statistics as a flat dictionary (for reports)."""
+        return {
+            "iterations": self.num_iterations,
+            "best": self.best_accuracy,
+            "worst": self.worst_accuracy,
+            "mean": self.mean_accuracy,
+            "std": self.std_accuracy,
+            "exact": self.num_exact,
+            "success_probability": self.success_probability,
+        }
+
+
+def time_to_solution(
+    single_run_time: float,
+    success_probability: float,
+    target_confidence: float = 0.99,
+) -> float:
+    """Expected time to reach a success with the usual TTS formula.
+
+    ``TTS = t_run * ln(1 - confidence) / ln(1 - p_success)``; returns infinity
+    when no run succeeded and ``t_run`` when every run succeeds.
+    """
+    if single_run_time < 0:
+        raise AnalysisError("single_run_time must be non-negative")
+    if not 0.0 < target_confidence < 1.0:
+        raise AnalysisError("target_confidence must be in (0, 1)")
+    if success_probability <= 0.0:
+        return float("inf")
+    if success_probability >= 1.0:
+        return single_run_time
+    repeats = np.log(1.0 - target_confidence) / np.log(1.0 - success_probability)
+    return float(single_run_time * max(1.0, repeats))
+
+
+def accuracy_percentiles(accuracies: Sequence[float], percentiles: Sequence[float] = (5, 25, 50, 75, 95)) -> Dict[float, float]:
+    """Return the requested percentiles of an accuracy distribution."""
+    if len(accuracies) == 0:
+        raise AnalysisError("accuracy list must not be empty")
+    values = np.asarray(accuracies, dtype=float)
+    return {float(p): float(np.percentile(values, p)) for p in percentiles}
+
+
+def iterations_to_reach(accuracies: Sequence[float], threshold: float) -> Optional[int]:
+    """Return the 1-based index of the first iteration reaching ``threshold``, or None."""
+    for position, value in enumerate(accuracies, start=1):
+        if value >= threshold - 1e-12:
+            return position
+    return None
+
+
+def expected_best_of_n(accuracies: Sequence[float], n: int, num_samples: int = 2000, seed: int = 0) -> float:
+    """Bootstrap estimate of the expected best accuracy when running ``n`` iterations.
+
+    Useful for answering "how many iterations does the machine need" from an
+    existing batch of runs without re-simulating.
+    """
+    if n < 1:
+        raise AnalysisError("n must be at least 1")
+    values = np.asarray(accuracies, dtype=float)
+    if values.size == 0:
+        raise AnalysisError("accuracy list must not be empty")
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(values, size=(num_samples, n), replace=True)
+    return float(picks.max(axis=1).mean())

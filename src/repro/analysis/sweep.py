@@ -1,0 +1,164 @@
+"""Parameter-sweep harness for design-space exploration and ablations.
+
+Section 2.3 of the paper describes the design tensions (coupling strength vs
+oscillation, SHIL strength vs waveform integrity) and Section 4.1 notes the
+empirically chosen stage durations.  The sweep harness runs the MSROPM across
+a grid of configuration overrides and records summary statistics, powering the
+ablation benchmarks and the "how was the operating point chosen" analysis in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import AnalysisError, ConfigurationError
+from repro.analysis.statistics import IterationStatistics
+from repro.core.config import MSROPMConfig
+from repro.core.machine import MSROPM
+from repro.graphs.graph import Graph
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated configuration of a sweep."""
+
+    overrides: Dict[str, Any]
+    statistics: IterationStatistics
+    mean_stage1_accuracy: float
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Mean final accuracy at this sweep point."""
+        return self.statistics.mean_accuracy
+
+    @property
+    def best_accuracy(self) -> float:
+        """Best final accuracy at this sweep point."""
+        return self.statistics.best_accuracy
+
+
+@dataclass
+class SweepResult:
+    """All evaluated points of one sweep."""
+
+    parameter_names: List[str]
+    points: List[SweepPoint]
+
+    def best_point(self) -> SweepPoint:
+        """The point with the highest mean accuracy (ties: best accuracy)."""
+        if not self.points:
+            raise AnalysisError("sweep produced no points")
+        return max(self.points, key=lambda p: (p.mean_accuracy, p.best_accuracy))
+
+    def as_rows(self) -> List[List[object]]:
+        """Rows suitable for :func:`repro.analysis.reporting.format_table`."""
+        rows: List[List[object]] = []
+        for point in self.points:
+            row: List[object] = [point.overrides.get(name) for name in self.parameter_names]
+            row.extend(
+                [
+                    f"{point.mean_accuracy:.3f}",
+                    f"{point.best_accuracy:.3f}",
+                    f"{point.mean_stage1_accuracy:.3f}",
+                ]
+            )
+            rows.append(row)
+        return rows
+
+
+def sweep_configuration(
+    graph: Graph,
+    base_config: MSROPMConfig,
+    parameter_grid: Dict[str, Sequence[Any]],
+    iterations: int = 5,
+    seed: Optional[int] = 0,
+) -> SweepResult:
+    """Evaluate the MSROPM over the cartesian product of ``parameter_grid``.
+
+    ``parameter_grid`` maps :class:`MSROPMConfig` field names to the values to
+    try.  Configurations rejected by the config validation (e.g. a coupling
+    strength beyond the oscillation-quenching cap) are skipped rather than
+    aborting the sweep, since probing the edges of the valid region is exactly
+    what a design-space exploration does.
+    """
+    if iterations < 1:
+        raise AnalysisError("iterations must be at least 1")
+    if not parameter_grid:
+        raise AnalysisError("parameter_grid must not be empty")
+    names = list(parameter_grid.keys())
+    points: List[SweepPoint] = []
+
+    def recurse(position: int, chosen: Dict[str, Any]) -> None:
+        if position == len(names):
+            try:
+                config = base_config.with_updates(**chosen)
+            except ConfigurationError:
+                return
+            machine = MSROPM(graph, config)
+            result = machine.solve(iterations=iterations, seed=seed)
+            statistics = IterationStatistics.from_result(result)
+            points.append(
+                SweepPoint(
+                    overrides=dict(chosen),
+                    statistics=statistics,
+                    mean_stage1_accuracy=float(result.stage1_accuracies.mean()),
+                )
+            )
+            return
+        name = names[position]
+        for value in parameter_grid[name]:
+            chosen[name] = value
+            recurse(position + 1, chosen)
+        del chosen[name]
+
+    recurse(0, {})
+    return SweepResult(parameter_names=names, points=points)
+
+
+def coupling_strength_sweep(
+    graph: Graph,
+    strengths: Sequence[float],
+    base_config: Optional[MSROPMConfig] = None,
+    iterations: int = 5,
+    seed: Optional[int] = 0,
+) -> SweepResult:
+    """Ablation: solution quality versus B2B coupling strength."""
+    base = base_config or MSROPMConfig()
+    return sweep_configuration(
+        graph, base, {"coupling_strength": list(strengths)}, iterations=iterations, seed=seed
+    )
+
+
+def shil_strength_sweep(
+    graph: Graph,
+    strengths: Sequence[float],
+    base_config: Optional[MSROPMConfig] = None,
+    iterations: int = 5,
+    seed: Optional[int] = 0,
+) -> SweepResult:
+    """Ablation: solution quality versus SHIL injection strength."""
+    base = base_config or MSROPMConfig()
+    return sweep_configuration(
+        graph, base, {"shil_strength": list(strengths)}, iterations=iterations, seed=seed
+    )
+
+
+def annealing_time_sweep(
+    graph: Graph,
+    annealing_times: Sequence[float],
+    base_config: Optional[MSROPMConfig] = None,
+    iterations: int = 5,
+    seed: Optional[int] = 0,
+) -> SweepResult:
+    """Ablation: solution quality versus the per-stage annealing duration."""
+    from repro.circuit.control import TimingPlan
+
+    base = base_config or MSROPMConfig()
+    timings = [replace(base.timing, annealing=duration) for duration in annealing_times]
+    return sweep_configuration(
+        graph, base, {"timing": timings}, iterations=iterations, seed=seed
+    )

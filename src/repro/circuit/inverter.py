@@ -1,0 +1,103 @@
+"""CMOS inverter behavioural model.
+
+The ROSC of the paper is a chain of 11 inverters sized with a 4:1 PMOS:NMOS
+width ratio — the skewed sizing creates the waveform asymmetry that makes the
+oscillator susceptible to 2nd-order (sub-harmonic) injection locking.  The
+model below captures the quantities the rest of the library needs:
+propagation delay (to derive the oscillation frequency), switched capacitance
+(for power) and total transistor width (for leakage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import CircuitError
+from repro.circuit.technology import TECH_65NM_GP, Technology, dynamic_power, leakage_power
+
+
+@dataclass(frozen=True)
+class Inverter:
+    """A static CMOS inverter.
+
+    Attributes
+    ----------
+    nmos_width_um / pmos_width_um:
+        Transistor widths in micrometres.  The paper's ROSC inverters use a
+        4:1 PMOS:NMOS ratio for 2nd-order SHIL susceptibility.
+    technology:
+        The CMOS technology corner.
+    """
+
+    nmos_width_um: float = 0.3
+    pmos_width_um: float = 1.2
+    technology: Technology = TECH_65NM_GP
+
+    def __post_init__(self) -> None:
+        if self.nmos_width_um < self.technology.min_width_um:
+            raise CircuitError(
+                f"nmos_width_um {self.nmos_width_um} below minimum {self.technology.min_width_um}"
+            )
+        if self.pmos_width_um < self.technology.min_width_um:
+            raise CircuitError(
+                f"pmos_width_um {self.pmos_width_um} below minimum {self.technology.min_width_um}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def beta_ratio(self) -> float:
+        """PMOS/NMOS width ratio (the paper uses 4.0)."""
+        return self.pmos_width_um / self.nmos_width_um
+
+    @property
+    def input_capacitance(self) -> float:
+        """Gate capacitance presented to the driving stage (farads)."""
+        total_width = self.nmos_width_um + self.pmos_width_um
+        return total_width * self.technology.gate_capacitance_per_um
+
+    @property
+    def total_width_um(self) -> float:
+        """Total transistor width (for leakage estimates)."""
+        return self.nmos_width_um + self.pmos_width_um
+
+    def load_capacitance(self, fanout: int = 1) -> float:
+        """Return the switched capacitance when driving ``fanout`` identical inverters."""
+        if fanout < 0:
+            raise CircuitError(f"fanout must be non-negative, got {fanout}")
+        return fanout * self.input_capacitance + self.technology.wire_capacitance_per_stage
+
+    def propagation_delay(self, fanout: int = 1) -> float:
+        """Return the average propagation delay in seconds.
+
+        The delay is the usual ``C * V / (2 * I_eff)`` estimate averaged over
+        the pull-up and pull-down transitions; the 4:1 skew makes the rising
+        and falling delays asymmetric, which the average hides but the
+        dedicated rise/fall methods expose.
+        """
+        return (self.rise_delay(fanout) + self.fall_delay(fanout)) / 2.0
+
+    def rise_delay(self, fanout: int = 1) -> float:
+        """Delay of the output rising transition (PMOS pulling up), seconds."""
+        load = self.load_capacitance(fanout)
+        drive = self.pmos_width_um * self.technology.pmos_drive_current_per_um
+        return load * self.technology.supply_voltage / (2.0 * drive)
+
+    def fall_delay(self, fanout: int = 1) -> float:
+        """Delay of the output falling transition (NMOS pulling down), seconds."""
+        load = self.load_capacitance(fanout)
+        drive = self.nmos_width_um * self.technology.nmos_drive_current_per_um
+        return load * self.technology.supply_voltage / (2.0 * drive)
+
+    def switching_power(self, frequency: float, activity: float = 1.0, fanout: int = 1) -> float:
+        """Dynamic power when toggling at ``frequency`` (watts)."""
+        return dynamic_power(
+            self.load_capacitance(fanout), self.technology.supply_voltage, frequency, activity
+        )
+
+    def leakage(self) -> float:
+        """Static leakage power (watts)."""
+        return leakage_power(self.total_width_um, self.technology)
+
+
+#: The inverter used in the paper's ROSC (4:1 PMOS:NMOS skew).
+ROSC_INVERTER = Inverter()

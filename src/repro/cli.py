@@ -1,0 +1,114 @@
+"""Command-line interface: run the paper's experiments from the terminal.
+
+Examples
+--------
+Solve a 7x7 King's graph 4-coloring with 10 iterations::
+
+    msropm solve --rows 7 --iterations 10 --seed 1
+
+Reproduce the paper's tables and figures (optionally scaled down)::
+
+    msropm table1 --scale 0.25
+    msropm table2 --scale 0.25
+    msropm fig5 --scale 0.25
+    msropm fig3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.core.config import MSROPMConfig
+from repro.core.machine import MSROPM
+from repro.experiments.fig3_waveforms import render_figure3, run_figure3
+from repro.experiments.fig5_accuracy import render_figure5, run_figure5
+from repro.experiments.table1_stats import run_table1
+from repro.experiments.table2_comparison import run_table2
+from repro.graphs.generators import kings_graph
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``msropm`` command."""
+    parser = argparse.ArgumentParser(
+        prog="msropm",
+        description="Multi-stage ring-oscillator Potts machine (DATE 2025 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser("solve", help="solve a King's-graph 4-coloring problem")
+    solve.add_argument("--rows", type=int, default=7, help="board side length (rows == cols)")
+    solve.add_argument("--iterations", type=int, default=10, help="number of repeated runs")
+    solve.add_argument("--colors", type=int, default=4, help="number of colors (power of two)")
+    solve.add_argument("--seed", type=int, default=1, help="base RNG seed")
+
+    for name, help_text in (
+        ("table1", "reproduce Table 1 (per-problem statistics)"),
+        ("table2", "reproduce Table 2 (prior-work comparison)"),
+        ("fig5", "reproduce Figure 5 (accuracy and Hamming-distance data)"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--scale", type=float, default=1.0, help="problem/iteration scale in (0, 1]")
+        sub.add_argument("--iterations", type=int, default=None, help="override iteration count")
+        sub.add_argument("--seed", type=int, default=2025, help="base RNG seed")
+
+    fig3 = subparsers.add_parser("fig3", help="reproduce Figure 3 (stage waveforms)")
+    fig3.add_argument("--rows", type=int, default=4, help="board side length of the traced run")
+    fig3.add_argument("--seed", type=int, default=7, help="RNG seed of the traced run")
+
+    return parser
+
+
+def _run_solve(args: argparse.Namespace) -> int:
+    graph = kings_graph(args.rows, args.rows)
+    config = MSROPMConfig(num_colors=args.colors, seed=args.seed)
+    machine = MSROPM(graph, config)
+    result = machine.solve(iterations=args.iterations, seed=args.seed)
+    rows = [
+        [item.iteration_index, f"{item.stage1_accuracy:.3f}", f"{item.accuracy:.3f}", item.is_exact]
+        for item in result.iterations
+    ]
+    print(
+        format_table(
+            ("iteration", "stage-1 accuracy", "coloring accuracy", "exact"),
+            rows,
+            title=f"MSROPM on {graph.num_nodes}-node King's graph ({args.colors} colors)",
+        )
+    )
+    print()
+    print(f"best accuracy:  {result.best_accuracy:.3f}")
+    print(f"mean accuracy:  {result.accuracies.mean():.3f}")
+    print(f"exact solutions: {result.num_exact_solutions}/{result.num_iterations}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``msropm`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "solve":
+        return _run_solve(args)
+    if args.command == "table1":
+        result = run_table1(scale=args.scale, iterations=args.iterations, seed=args.seed)
+        print(result.render())
+        return 0
+    if args.command == "table2":
+        result = run_table2(scale=args.scale, iterations=args.iterations, seed=args.seed)
+        print(result.render())
+        return 0
+    if args.command == "fig5":
+        result = run_figure5(scale=args.scale, iterations=args.iterations, seed=args.seed)
+        print(render_figure5(result))
+        return 0
+    if args.command == "fig3":
+        result = run_figure3(rows=args.rows, cols=args.rows, seed=args.seed)
+        print(render_figure3(result))
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation path
+    sys.exit(main())

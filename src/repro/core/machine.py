@@ -1,0 +1,256 @@
+"""The multi-stage ring-oscillator Potts machine (MSROPM) — the paper's contribution.
+
+:class:`MSROPM` ties together the problem mapping, the circuit-level fabric
+netlist, the control schedule and the phase dynamics into the solver the paper
+evaluates:
+
+* the problem graph is mapped one node per oscillator and one edge per B2B
+  coupling;
+* a run executes ``log2(K)`` binary stages; each stage self-anneals the
+  coupled oscillators and then binarizes their phases with the appropriate
+  phase-shifted SHIL, refining the coloring by one bit (divide-and-color);
+* read-out happens on the K-phase reference grid, exactly one DFF per
+  oscillator capturing a one, and the decoded coloring is scored against the
+  paper's accuracy metric;
+* repeated iterations with fresh random initial phases explore the solution
+  space; the best iteration is the reported solution.
+
+Typical use::
+
+    from repro import kings_graph, MSROPM, MSROPMConfig
+
+    machine = MSROPM(kings_graph(7, 7), MSROPMConfig(num_colors=4, seed=7))
+    result = machine.solve(iterations=40)
+    print(result.best_accuracy)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, MappingError
+from repro.circuit.netlist import FabricNetlist
+from repro.circuit.power import PowerModel
+from repro.core.config import MSROPMConfig
+from repro.core.mapping import ProblemMapping, identity_mapping
+from repro.core.metrics import coloring_accuracy, maxcut_accuracy
+from repro.core.results import IterationResult, SolveResult, StageResult
+from repro.core.stages import StageExecutor, group_offsets
+from repro.dynamics.noise import perturbed_phases, random_initial_phases
+from repro.graphs.coloring import Coloring, kings_graph_reference_coloring
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Bipartition
+from repro.graphs.properties import is_kings_graph_shape
+from repro.ising.maxcut import kings_graph_reference_cut
+from repro.rng import iteration_seeds, make_rng
+
+
+class MSROPM:
+    """Multi-Stage Ring-Oscillator Potts Machine solver for K-coloring.
+
+    Parameters
+    ----------
+    graph:
+        The problem graph (one oscillator per node).
+    config:
+        Machine configuration; defaults to the paper's 4-coloring operating point.
+    mapping:
+        Optional explicit problem → fabric mapping; defaults to a fabric built
+        exactly for the problem (the paper's custom implementations).
+    stage1_reference_cut:
+        Normalization for the stage-1 max-cut accuracy.  Defaults to the cut
+        induced by the canonical 4-coloring for King's graphs and to the total
+        edge count otherwise.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[MSROPMConfig] = None,
+        mapping: Optional[ProblemMapping] = None,
+        stage1_reference_cut: Optional[int] = None,
+    ) -> None:
+        if graph.num_nodes == 0:
+            raise MappingError("cannot build an MSROPM for an empty graph")
+        self.graph = graph
+        self.config = config or MSROPMConfig()
+        self.mapping = mapping or identity_mapping(graph)
+        if self.mapping.problem_graph is not graph:
+            # Re-validate against the provided graph to catch mismatched mappings.
+            if set(self.mapping.problem_graph.nodes) != set(graph.nodes):
+                raise MappingError("mapping was built for a different problem graph")
+        self.netlist = FabricNetlist(
+            graph=graph,
+            coupling_strength=self.config.coupling_strength,
+            shil_strength=self.config.shil_strength,
+            num_colors=self.config.num_colors,
+        )
+        self._edge_index = graph.edge_index_array()
+        self._nodes = graph.nodes
+        self._stage1_reference_cut = (
+            stage1_reference_cut
+            if stage1_reference_cut is not None
+            else self._default_stage1_reference()
+        )
+        # Static per-oscillator frequency mismatch (process variation): drawn
+        # once per machine instance, like silicon, and reused by every iteration.
+        if self.config.frequency_detuning_std > 0:
+            mismatch_rng = make_rng(self.config.seed)
+            self._frequency_detuning = mismatch_rng.normal(
+                0.0, self.config.frequency_detuning_rate_std, size=graph.num_nodes
+            )
+        else:
+            self._frequency_detuning = None
+
+    # ------------------------------------------------------------------
+    def _default_stage1_reference(self) -> int:
+        if is_kings_graph_shape(self.graph):
+            rows = 1 + max(node[0] for node in self.graph.nodes)
+            cols = 1 + max(node[1] for node in self.graph.nodes)
+            return kings_graph_reference_cut(rows, cols)
+        return max(1, self.graph.num_edges)
+
+    @property
+    def num_oscillators(self) -> int:
+        """Number of oscillators (problem nodes)."""
+        return self.graph.num_nodes
+
+    @property
+    def stage1_reference_cut(self) -> int:
+        """The cut value used to normalize stage-1 accuracy."""
+        return self._stage1_reference_cut
+
+    # ------------------------------------------------------------------
+    def run_iteration(
+        self,
+        iteration_index: int = 0,
+        seed: Optional[int] = None,
+        collect_trajectory: bool = False,
+    ) -> IterationResult:
+        """Run one complete multi-stage solve and return its result."""
+        config = self.config
+        rng = make_rng(seed)
+        num = self.num_oscillators
+        executor = StageExecutor(
+            config=config,
+            edge_index=self._edge_index,
+            num_oscillators=num,
+            collect_trajectory=collect_trajectory,
+            frequency_detuning=self._frequency_detuning,
+        )
+
+        phases = random_initial_phases(num, rng)
+        group_values = np.zeros(num, dtype=int)
+        stage_results: List[StageResult] = []
+        trajectory = None
+        time = 0.0
+
+        for stage_index in range(1, config.num_stages + 1):
+            if stage_index > 1:
+                # Compute-in-memory hand-off: phases persist between stages but
+                # pick up a little jitter while couplings and SHIL are off.
+                phases = perturbed_phases(phases, config.stage2_reinit_jitter, rng)
+            phases, bits, stage_trajectory = executor.run_stage(
+                stage_index, phases, group_values, rng, start_time=time
+            )
+            if collect_trajectory and stage_trajectory is not None:
+                trajectory = stage_trajectory if trajectory is None else trajectory.concatenate(stage_trajectory)
+            time += (
+                config.timing.initialization + config.timing.annealing + config.timing.shil_settling
+            )
+
+            stage_results.append(
+                self._score_stage(stage_index, bits, group_values)
+            )
+            group_values = group_values + bits * (2 ** (stage_index - 1))
+
+        coloring = self._decode_coloring(group_values)
+        accuracy = coloring_accuracy(self.graph, coloring)
+        # Stash the final phases on the last stage record for inspection.
+        if stage_results:
+            stage_results[-1].final_phases = np.array(phases, dtype=float)
+        return IterationResult(
+            iteration_index=iteration_index,
+            seed=int(seed) if seed is not None else -1,
+            coloring=coloring,
+            accuracy=accuracy,
+            stage_results=stage_results,
+            run_time=config.total_run_time,
+            trajectory=trajectory,
+        )
+
+    def solve(self, iterations: int = 40, seed: Optional[int] = None) -> SolveResult:
+        """Run ``iterations`` independent runs (the paper uses 40) and aggregate them."""
+        if iterations < 1:
+            raise ConfigurationError(f"iterations must be at least 1, got {iterations}")
+        base_seed = seed if seed is not None else self.config.seed
+        seeds = iteration_seeds(base_seed, iterations)
+        results = [
+            self.run_iteration(iteration_index=index, seed=seeds[index])
+            for index in range(iterations)
+        ]
+        return SolveResult(graph=self.graph, num_colors=self.config.num_colors, iterations=results)
+
+    # ------------------------------------------------------------------
+    def _score_stage(
+        self, stage_index: int, bits: np.ndarray, group_values: np.ndarray
+    ) -> StageResult:
+        """Compute the cut value/accuracy of one stage's binary read-out."""
+        edge_index = self._edge_index
+        if edge_index.size:
+            active = group_values[edge_index[:, 0]] == group_values[edge_index[:, 1]]
+            cut_mask = bits[edge_index[:, 0]] != bits[edge_index[:, 1]]
+            cut_value = int(np.sum(active & cut_mask))
+            active_edges = int(np.sum(active))
+        else:
+            cut_value = 0
+            active_edges = 0
+        if stage_index == 1:
+            reference = self._stage1_reference_cut
+        else:
+            reference = max(1, active_edges)
+        accuracy = min(1.0, cut_value / reference) if reference > 0 else 1.0
+        side_a = frozenset(node for node, bit in zip(self._nodes, bits) if bit == 0)
+        side_b = frozenset(node for node, bit in zip(self._nodes, bits) if bit == 1)
+        partition = Bipartition(side_a=side_a, side_b=side_b)
+        return StageResult(
+            stage_index=stage_index,
+            partition=partition,
+            cut_value=cut_value,
+            reference_cut=int(reference),
+            accuracy=float(accuracy),
+        )
+
+    def _decode_coloring(self, group_values: np.ndarray) -> Coloring:
+        """Convert the accumulated phase-grid indices into a coloring."""
+        assignment = {node: int(value) for node, value in zip(self._nodes, group_values)}
+        return Coloring(assignment=assignment, num_colors=self.config.num_colors)
+
+    # ------------------------------------------------------------------
+    def estimated_power(self, power_model: Optional[PowerModel] = None) -> float:
+        """Average power (watts) of this instance per the bottom-up power model."""
+        model = power_model or PowerModel()
+        return model.total_power(self.graph.num_nodes, self.graph.num_edges)
+
+    def time_to_solution(self) -> float:
+        """Modeled single-run time in seconds (the paper's 60 ns for 4-coloring)."""
+        return self.config.total_run_time
+
+
+def solve_coloring(
+    graph: Graph,
+    num_colors: int = 4,
+    iterations: int = 40,
+    seed: Optional[int] = None,
+    config: Optional[MSROPMConfig] = None,
+) -> SolveResult:
+    """One-call convenience API: build an :class:`MSROPM` and solve ``graph``."""
+    if config is None:
+        config = MSROPMConfig(num_colors=num_colors, seed=seed)
+    elif config.num_colors != num_colors:
+        config = config.with_updates(num_colors=num_colors)
+    machine = MSROPM(graph, config)
+    return machine.solve(iterations=iterations, seed=seed)

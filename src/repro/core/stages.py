@@ -1,0 +1,215 @@
+"""Stage execution: turning the control schedule into phase-dynamics runs.
+
+Each binary stage of the MSROPM consists of three intervals (Fig. 3):
+
+1. *initialization* — couplings and SHIL off; phases either start random
+   (stage 1) or keep their previous values plus a little jitter (later stages,
+   the compute-in-memory property),
+2. *annealing* — couplings on (restricted to the current partition), SHIL off;
+   the coupled oscillators self-anneal towards a low-energy phase pattern,
+3. *SHIL lock* — the per-partition SHIL is injected (ramped up) and binarizes
+   the phases onto the partition's lock grid; at the end the phases are read
+   out.
+
+The helpers here build the :class:`CoupledOscillatorModel` for each interval
+from the stage's group labels and run the integrator; :class:`repro.core.machine.MSROPM`
+strings the stages together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import SimulationError, StageError
+from repro.core.config import MSROPMConfig
+from repro.dynamics.integrators import Trajectory, integrate_euler_maruyama
+from repro.dynamics.kuramoto import CoupledOscillatorModel
+from repro.rng import SeedLike, make_rng
+
+
+def group_offsets(group_values: np.ndarray, stage_index: int) -> np.ndarray:
+    """Return the per-oscillator SHIL lock-grid offsets for ``stage_index``.
+
+    A node whose accumulated group value (the phase index read out after the
+    previous stages) is ``v`` receives a SHIL whose fundamental lock grid is
+    offset by ``v * 2*pi / 2**stage_index``; stage 1 therefore uses offset 0
+    everywhere (SHIL 1) and stage 2 uses 0 or pi/2 (SHIL 1 / SHIL 2), exactly
+    the paper's phase-shifted SHIL pair.
+    """
+    if stage_index < 1:
+        raise StageError(f"stage_index must be >= 1, got {stage_index}")
+    group_values = np.asarray(group_values, dtype=int)
+    max_group = 2 ** (stage_index - 1)
+    if group_values.size and (group_values.min() < 0 or group_values.max() >= max_group):
+        raise StageError(
+            f"group values for stage {stage_index} must lie in [0, {max_group}), "
+            f"got range [{group_values.min()}, {group_values.max()}]"
+        )
+    return group_values * (2.0 * np.pi / (2 ** stage_index))
+
+
+def partition_coupling_matrix(
+    edge_index: np.ndarray,
+    group_values: np.ndarray,
+    num_oscillators: int,
+    coupling_rate: float,
+) -> sparse.csr_matrix:
+    """Return the coupling-rate matrix with cross-partition edges gated off.
+
+    ``edge_index`` is the ``(E, 2)`` array of edges in node-index space; an
+    edge is conducting only when both endpoints share the same group value
+    (the ``P_EN`` gating derived from the earlier stage read-outs).
+    """
+    if coupling_rate < 0:
+        raise StageError("coupling_rate must be non-negative")
+    group_values = np.asarray(group_values, dtype=int)
+    if edge_index.size == 0:
+        return sparse.csr_matrix((num_oscillators, num_oscillators))
+    same_group = group_values[edge_index[:, 0]] == group_values[edge_index[:, 1]]
+    active = edge_index[same_group]
+    if active.size == 0:
+        return sparse.csr_matrix((num_oscillators, num_oscillators))
+    rows = np.concatenate([active[:, 0], active[:, 1]])
+    cols = np.concatenate([active[:, 1], active[:, 0]])
+    vals = np.full(rows.shape[0], coupling_rate, dtype=float)
+    return sparse.csr_matrix((vals, (rows, cols)), shape=(num_oscillators, num_oscillators))
+
+
+def binarize_against_offsets(phases: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Return the per-oscillator stage bit: 0 if locked near its offset, 1 if near offset + pi."""
+    phases = np.asarray(phases, dtype=float)
+    offsets = np.asarray(offsets, dtype=float)
+    relative = np.mod(phases - offsets, 2.0 * np.pi)
+    return ((relative > np.pi / 2.0) & (relative <= 3.0 * np.pi / 2.0)).astype(int)
+
+
+@dataclass
+class StageExecutor:
+    """Runs the three intervals of one binary stage on a phase vector.
+
+    Parameters
+    ----------
+    config:
+        Machine configuration (strengths, timing, integrator settings).
+    edge_index:
+        ``(E, 2)`` edge array of the mapped problem in node-index space.
+    num_oscillators:
+        Number of oscillators (problem nodes).
+    collect_trajectory:
+        When ``True`` the initialization interval is also simulated and all
+        intervals record every integrator step, so waveforms can be
+        reconstructed; when ``False`` the initialization interval is applied
+        analytically (pure diffusion) and trajectories are thinned.
+    frequency_detuning:
+        Optional per-oscillator free-running frequency offsets (radians/second)
+        modelling static process variation; applied during the annealing and
+        SHIL intervals of every stage.
+    """
+
+    config: MSROPMConfig
+    edge_index: np.ndarray
+    num_oscillators: int
+    collect_trajectory: bool = False
+    frequency_detuning: Optional[np.ndarray] = None
+
+    def run_stage(
+        self,
+        stage_index: int,
+        phases: np.ndarray,
+        group_values: np.ndarray,
+        rng,
+        start_time: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[Trajectory]]:
+        """Execute stage ``stage_index`` starting from ``phases``.
+
+        Returns ``(final_phases, stage_bits, trajectory_or_None)`` where
+        ``stage_bits`` is the per-oscillator binary read-out of this stage.
+        """
+        config = self.config
+        timing = config.timing
+        rng = make_rng(rng)
+        record_every = 1 if self.collect_trajectory else config.record_every
+        diffusion = config.phase_noise_diffusion
+        trajectory: Optional[Trajectory] = None
+        time = start_time
+
+        coupling = partition_coupling_matrix(
+            self.edge_index, group_values, self.num_oscillators, config.coupling_rate
+        )
+        offsets = group_offsets(group_values, stage_index)
+
+        # ------------------------------------------------------- initialization
+        if self.collect_trajectory:
+            free_model = CoupledOscillatorModel(
+                coupling_matrix=sparse.csr_matrix((self.num_oscillators, self.num_oscillators)),
+                shil_strength=0.0,
+            )
+            segment = integrate_euler_maruyama(
+                free_model,
+                phases,
+                timing.initialization,
+                config.time_step,
+                noise_amplitude=diffusion,
+                seed=rng,
+                start_time=time,
+                record_every=record_every,
+            )
+            trajectory = segment
+            phases = segment.final_phases
+        else:
+            # Couplings and SHIL are off, so the interval is a pure phase
+            # diffusion; apply the equivalent Gaussian walk directly.
+            std = np.sqrt(2.0 * diffusion * timing.initialization)
+            if std > 0:
+                phases = phases + rng.normal(0.0, std, size=phases.shape)
+        time += timing.initialization
+
+        # ------------------------------------------------------------ annealing
+        anneal_model = CoupledOscillatorModel(
+            coupling_matrix=coupling,
+            shil_strength=0.0,
+            frequency_detuning=self.frequency_detuning,
+            coupling_ramp=config.annealing_policy.coupling_ramp(time, timing.annealing),
+        )
+        segment = integrate_euler_maruyama(
+            anneal_model,
+            phases,
+            timing.annealing,
+            config.time_step,
+            noise_amplitude=diffusion,
+            seed=rng,
+            start_time=time,
+            record_every=record_every,
+        )
+        trajectory = segment if trajectory is None else trajectory.concatenate(segment)
+        phases = segment.final_phases
+        time += timing.annealing
+
+        # ------------------------------------------------------------ SHIL lock
+        lock_model = CoupledOscillatorModel(
+            coupling_matrix=coupling,
+            shil_strength=config.shil_rate,
+            shil_offset=offsets,
+            shil_order=2,
+            frequency_detuning=self.frequency_detuning,
+            shil_ramp=config.annealing_policy.shil_ramp(time, timing.shil_settling),
+        )
+        segment = integrate_euler_maruyama(
+            lock_model,
+            phases,
+            timing.shil_settling,
+            config.time_step,
+            noise_amplitude=diffusion,
+            seed=rng,
+            start_time=time,
+            record_every=record_every,
+        )
+        trajectory = trajectory.concatenate(segment)
+        phases = segment.final_phases
+
+        bits = binarize_against_offsets(phases, offsets)
+        return phases, bits, (trajectory if self.collect_trajectory else None)

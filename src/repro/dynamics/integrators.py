@@ -1,0 +1,200 @@
+"""ODE/SDE integrators for the phase dynamics.
+
+Three integration backends are provided:
+
+* a fixed-step 4th-order Runge-Kutta integrator (deterministic runs,
+  waveform-quality trajectories),
+* a fixed-step Euler-Maruyama integrator (stochastic runs with phase noise —
+  the workhorse of the accuracy experiments),
+* a thin wrapper around :func:`scipy.integrate.solve_ivp` for adaptive,
+  high-accuracy deterministic integration (used in tests to validate the
+  fixed-step integrators).
+
+All integrators operate on a right-hand-side callback ``f(t, theta) -> dtheta/dt``
+over a flat phase vector and return the full trajectory so the waveform and
+energy-tracking utilities can inspect intermediate states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from repro.exceptions import SimulationError
+from repro.rng import SeedLike, make_rng
+
+RHS = Callable[[float, np.ndarray], np.ndarray]
+
+
+@dataclass
+class Trajectory:
+    """A simulated trajectory: times and the phase vector at each time.
+
+    Attributes
+    ----------
+    times:
+        1-D array of time points (seconds), including the initial time.
+    phases:
+        Array of shape ``(len(times), num_oscillators)``.
+    """
+
+    times: np.ndarray
+    phases: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.phases = np.asarray(self.phases, dtype=float)
+        if self.phases.ndim != 2 or self.phases.shape[0] != self.times.shape[0]:
+            raise SimulationError(
+                f"phases shape {self.phases.shape} inconsistent with {self.times.shape[0]} time points"
+            )
+
+    @property
+    def final_phases(self) -> np.ndarray:
+        """The phase vector at the last time point."""
+        return self.phases[-1]
+
+    @property
+    def initial_phases(self) -> np.ndarray:
+        """The phase vector at the first time point."""
+        return self.phases[0]
+
+    @property
+    def num_steps(self) -> int:
+        """Number of integration steps taken."""
+        return len(self.times) - 1
+
+    def at_time(self, time: float) -> np.ndarray:
+        """Return the phase vector at the stored time nearest to ``time``."""
+        index = int(np.argmin(np.abs(self.times - time)))
+        return self.phases[index]
+
+    def concatenate(self, other: "Trajectory") -> "Trajectory":
+        """Append ``other`` (whose first sample duplicates this trajectory's last)."""
+        if other.phases.shape[1] != self.phases.shape[1]:
+            raise SimulationError("cannot concatenate trajectories of different sizes")
+        return Trajectory(
+            times=np.concatenate([self.times, other.times[1:]]),
+            phases=np.vstack([self.phases, other.phases[1:]]),
+        )
+
+
+def _validate_step(duration: float, dt: float) -> int:
+    if duration <= 0:
+        raise SimulationError(f"duration must be positive, got {duration}")
+    if dt <= 0:
+        raise SimulationError(f"dt must be positive, got {dt}")
+    num_steps = int(np.ceil(duration / dt))
+    if num_steps < 1:
+        raise SimulationError("duration shorter than one time step")
+    return num_steps
+
+
+def integrate_rk4(
+    rhs: RHS,
+    initial_phases: np.ndarray,
+    duration: float,
+    dt: float,
+    start_time: float = 0.0,
+    record_every: int = 1,
+) -> Trajectory:
+    """Fixed-step classical RK4 integration of ``d theta/dt = rhs(t, theta)``.
+
+    ``record_every`` thins the stored trajectory (the final state is always
+    recorded) to keep memory bounded on long waveform runs.
+    """
+    if record_every < 1:
+        raise SimulationError(f"record_every must be >= 1, got {record_every}")
+    num_steps = _validate_step(duration, dt)
+    step = duration / num_steps
+    theta = np.array(initial_phases, dtype=float)
+    times = [start_time]
+    states = [theta.copy()]
+    time = start_time
+    for index in range(num_steps):
+        k1 = rhs(time, theta)
+        k2 = rhs(time + step / 2.0, theta + step * k1 / 2.0)
+        k3 = rhs(time + step / 2.0, theta + step * k2 / 2.0)
+        k4 = rhs(time + step, theta + step * k3)
+        theta = theta + (step / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        time = start_time + (index + 1) * step
+        if (index + 1) % record_every == 0 or index == num_steps - 1:
+            times.append(time)
+            states.append(theta.copy())
+    return Trajectory(times=np.array(times), phases=np.array(states))
+
+
+def integrate_euler_maruyama(
+    rhs: RHS,
+    initial_phases: np.ndarray,
+    duration: float,
+    dt: float,
+    noise_amplitude: float = 0.0,
+    seed: SeedLike = None,
+    start_time: float = 0.0,
+    record_every: int = 1,
+) -> Trajectory:
+    """Euler-Maruyama integration with additive white phase noise.
+
+    ``noise_amplitude`` is the diffusion coefficient ``D`` (rad^2/s); each step
+    adds a Gaussian increment of standard deviation ``sqrt(2 * D * dt)`` to
+    every phase, modelling oscillator jitter during free-running intervals.
+    """
+    if record_every < 1:
+        raise SimulationError(f"record_every must be >= 1, got {record_every}")
+    if noise_amplitude < 0:
+        raise SimulationError(f"noise_amplitude must be non-negative, got {noise_amplitude}")
+    num_steps = _validate_step(duration, dt)
+    step = duration / num_steps
+    rng = make_rng(seed)
+    theta = np.array(initial_phases, dtype=float)
+    times = [start_time]
+    states = [theta.copy()]
+    noise_scale = np.sqrt(2.0 * noise_amplitude * step)
+    time = start_time
+    for index in range(num_steps):
+        drift = rhs(time, theta)
+        theta = theta + step * drift
+        if noise_scale > 0:
+            theta = theta + noise_scale * rng.standard_normal(theta.shape)
+        time = start_time + (index + 1) * step
+        if (index + 1) % record_every == 0 or index == num_steps - 1:
+            times.append(time)
+            states.append(theta.copy())
+    return Trajectory(times=np.array(times), phases=np.array(states))
+
+
+def integrate_scipy(
+    rhs: RHS,
+    initial_phases: np.ndarray,
+    duration: float,
+    start_time: float = 0.0,
+    rtol: float = 1e-7,
+    atol: float = 1e-9,
+    max_points: int = 501,
+) -> Trajectory:
+    """Adaptive integration via :func:`scipy.integrate.solve_ivp` (RK45).
+
+    Used as a high-accuracy reference in tests; the trajectory is sampled on a
+    uniform grid of at most ``max_points`` points.
+    """
+    if duration <= 0:
+        raise SimulationError(f"duration must be positive, got {duration}")
+    if max_points < 2:
+        raise SimulationError(f"max_points must be at least 2, got {max_points}")
+    t_eval = np.linspace(start_time, start_time + duration, max_points)
+    solution = solve_ivp(
+        rhs,
+        (start_time, start_time + duration),
+        np.asarray(initial_phases, dtype=float),
+        t_eval=t_eval,
+        rtol=rtol,
+        atol=atol,
+        method="RK45",
+    )
+    if not solution.success:
+        raise SimulationError(f"solve_ivp failed: {solution.message}")
+    return Trajectory(times=solution.t, phases=solution.y.T)

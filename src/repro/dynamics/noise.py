@@ -1,0 +1,82 @@
+"""Phase-noise and random-initialization models.
+
+The paper obtains random initial conditions by turning the ROSCs on at random
+instants and letting jitter decorrelate them for an empirically chosen
+interval.  In the phase-domain model this corresponds to (a) drawing the
+initial phases uniformly at random and (b) adding a white phase-noise term
+(a Wiener process) during the free-running intervals.  The diffusion constant
+is derived from the ring oscillator's cycle-to-cycle jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.circuit.ring_oscillator import RingOscillator
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class PhaseNoiseModel:
+    """White phase-noise (Wiener) model of oscillator jitter.
+
+    Attributes
+    ----------
+    diffusion:
+        Phase diffusion coefficient ``D`` in rad^2/s.  The phase variance
+        accumulated over a free-running interval ``T`` is ``2 * D * T``.
+    """
+
+    diffusion: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.diffusion < 0:
+            raise SimulationError(f"diffusion must be non-negative, got {self.diffusion}")
+
+    def phase_std_after(self, duration: float) -> float:
+        """Standard deviation (radians) of the phase walk after ``duration`` seconds."""
+        if duration < 0:
+            raise SimulationError(f"duration must be non-negative, got {duration}")
+        return float(np.sqrt(2.0 * self.diffusion * duration))
+
+    def sample_walk(self, num_oscillators: int, duration: float, seed: SeedLike = None) -> np.ndarray:
+        """Sample the accumulated phase offsets of ``num_oscillators`` after ``duration``."""
+        if num_oscillators < 0:
+            raise SimulationError("num_oscillators must be non-negative")
+        rng = make_rng(seed)
+        return rng.normal(0.0, self.phase_std_after(duration), size=num_oscillators)
+
+    @classmethod
+    def from_oscillator(cls, oscillator: RingOscillator, jitter_fraction: float = 0.01) -> "PhaseNoiseModel":
+        """Derive the diffusion constant from a ring oscillator's cycle jitter."""
+        return cls(diffusion=oscillator.phase_noise_diffusion(jitter_fraction))
+
+
+def random_initial_phases(num_oscillators: int, seed: SeedLike = None) -> np.ndarray:
+    """Uniformly random initial phases in ``[0, 2*pi)``.
+
+    Models the random start-up instants of the ROSCs: by the time the
+    couplings are enabled, the phases are decorrelated and uniformly spread.
+    """
+    if num_oscillators < 0:
+        raise SimulationError("num_oscillators must be non-negative")
+    rng = make_rng(seed)
+    return rng.uniform(0.0, 2.0 * np.pi, size=num_oscillators)
+
+
+def perturbed_phases(phases: np.ndarray, amplitude: float, seed: SeedLike = None) -> np.ndarray:
+    """Return ``phases`` plus a uniform perturbation in ``[-amplitude, amplitude]``.
+
+    Used between the two MSROPM stages: the oscillators keep their stage-1
+    phases (compute-in-memory) but accumulate a small amount of jitter during
+    the re-initialization interval before the second annealing begins.
+    """
+    if amplitude < 0:
+        raise SimulationError(f"amplitude must be non-negative, got {amplitude}")
+    rng = make_rng(seed)
+    phases = np.asarray(phases, dtype=float)
+    return phases + rng.uniform(-amplitude, amplitude, size=phases.shape)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the MSROPM reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch a single base class.  Sub-classes narrow the failure domain (graphs,
+problem mapping, circuit configuration, simulation, SAT solving).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs (bad node ids, duplicate edges, self loops)."""
+
+
+class ColoringError(ReproError):
+    """Raised when a coloring assignment is structurally invalid."""
+
+
+class MappingError(ReproError):
+    """Raised when a problem cannot be mapped onto the oscillator fabric."""
+
+
+class CircuitError(ReproError):
+    """Raised for invalid circuit-level configuration (sizes, voltages, strengths)."""
+
+
+class SimulationError(ReproError):
+    """Raised when a dynamical simulation cannot be carried out."""
+
+
+class StageError(ReproError):
+    """Raised when the multi-stage controller receives an inconsistent schedule."""
+
+
+class SATError(ReproError):
+    """Raised for malformed CNF formulas or solver misuse."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a user-facing configuration object fails validation."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the analysis/reporting layer for inconsistent result sets."""

@@ -1,0 +1,82 @@
+"""The paper's benchmark problems and experiment-wide defaults.
+
+The evaluation uses custom 4-coloring problems on King's graph topologies of
+49, 400, 1024 and 2116 nodes with every edge active (8 edges per interior
+node), 40 iterations per problem.  This module centralizes those definitions
+so every experiment and benchmark draws the same workloads; a ``scale``
+parameter allows the CI-sized benchmarks to run reduced versions (smaller
+boards, fewer iterations) while the full-sized runs remain one flag away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.core.config import MSROPMConfig
+from repro.graphs.generators import PAPER_PROBLEM_SIDES, kings_graph
+from repro.graphs.graph import Graph
+
+#: Iterations per problem in the paper's evaluation.
+PAPER_ITERATIONS = 40
+
+#: Problem sizes reported in Table 1.
+TABLE1_SIZES = (49, 400, 1024, 2116)
+
+#: Problem sizes plotted in Figure 5 (the 2116-node problem appears only in Table 1).
+FIGURE5_SIZES = (49, 400, 1024)
+
+
+@dataclass(frozen=True)
+class BenchmarkProblem:
+    """One benchmark problem instance: a King's graph plus its metadata."""
+
+    num_nodes: int
+    rows: int
+    cols: int
+    graph: Graph
+
+    @property
+    def name(self) -> str:
+        """Human-readable problem name ("49-node", ...)."""
+        return f"{self.num_nodes}-node"
+
+
+def paper_problem(num_nodes: int) -> BenchmarkProblem:
+    """Return one of the paper's benchmark problems by node count."""
+    side = PAPER_PROBLEM_SIDES.get(num_nodes)
+    if side is None:
+        raise ConfigurationError(
+            f"num_nodes must be one of {sorted(PAPER_PROBLEM_SIDES)}, got {num_nodes}"
+        )
+    return BenchmarkProblem(num_nodes=num_nodes, rows=side, cols=side, graph=kings_graph(side, side))
+
+
+def scaled_problem(num_nodes: int, scale: float = 1.0) -> BenchmarkProblem:
+    """Return the benchmark problem, optionally scaled down for quick runs.
+
+    ``scale`` shrinks the board side by ``sqrt(scale)`` (minimum 4x4) so a
+    scaled experiment preserves the topology and the relative size ordering of
+    the problems while running much faster.  ``scale=1.0`` returns the paper's
+    exact instance.
+    """
+    if scale <= 0 or scale > 1.0:
+        raise ConfigurationError(f"scale must be in (0, 1], got {scale}")
+    base = paper_problem(num_nodes)
+    if scale == 1.0:
+        return base
+    side = max(4, int(round(base.rows * scale ** 0.5)))
+    return BenchmarkProblem(num_nodes=side * side, rows=side, cols=side, graph=kings_graph(side, side))
+
+
+def default_config(seed: Optional[int] = 2025) -> MSROPMConfig:
+    """The configuration used by all paper-reproduction experiments."""
+    return MSROPMConfig(num_colors=4, seed=seed)
+
+
+def scaled_iterations(scale: float = 1.0) -> int:
+    """Iteration count scaled the same way as the problems (minimum 5)."""
+    if scale <= 0 or scale > 1.0:
+        raise ConfigurationError(f"scale must be in (0, 1], got {scale}")
+    return max(5, int(round(PAPER_ITERATIONS * scale)))

@@ -1,0 +1,140 @@
+"""Table 1 reproduction: per-problem statistics.
+
+Table 1 of the paper reports, for the 49/400/1024/2116-node problems:
+the search-space size (``4^n``), the iteration count (40), the average power
+and the top accuracy.  This module runs the machine on each problem, evaluates
+the bottom-up power model on the mapped fabric, and renders the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_power_mw, format_search_space, format_table
+from repro.circuit.power import PAPER_POWER_MW, PowerModel
+from repro.core.config import MSROPMConfig
+from repro.core.machine import MSROPM
+from repro.experiments.problems import (
+    PAPER_ITERATIONS,
+    TABLE1_SIZES,
+    default_config,
+    scaled_iterations,
+    scaled_problem,
+)
+
+
+@dataclass
+class Table1Row:
+    """One row of Table 1 (one benchmark problem)."""
+
+    problem_name: str
+    requested_nodes: int
+    simulated_nodes: int
+    num_edges: int
+    iterations: int
+    average_power_w: float
+    top_accuracy: float
+    mean_accuracy: float
+    num_exact: int
+
+    def search_space_text(self, num_colors: int = 4) -> str:
+        """The search-space column (``4^n`` for the requested problem size)."""
+        return format_search_space(self.requested_nodes, num_colors)
+
+
+@dataclass
+class Table1Result:
+    """All rows of the Table 1 reproduction."""
+
+    rows: List[Table1Row] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Render the table in the paper's layout (plus measured extras)."""
+        headers = (
+            "Graph size",
+            "Search space",
+            "Iterations",
+            "Average power",
+            "Top accuracy",
+            "Mean accuracy",
+            "Exact solutions",
+        )
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [
+                    row.problem_name,
+                    row.search_space_text(),
+                    row.iterations,
+                    format_power_mw(row.average_power_w),
+                    f"{row.top_accuracy:.2f}",
+                    f"{row.mean_accuracy:.2f}",
+                    row.num_exact,
+                ]
+            )
+        return format_table(headers, table_rows, title="Table 1: statistics from the simulations")
+
+    def paper_power_comparison(self) -> Dict[int, Dict[str, float]]:
+        """Modeled vs paper power (mW) for the problem sizes the paper lists."""
+        comparison: Dict[int, Dict[str, float]] = {}
+        for row in self.rows:
+            paper_value = PAPER_POWER_MW.get(row.requested_nodes)
+            if paper_value is not None:
+                comparison[row.requested_nodes] = {
+                    "paper_mw": paper_value,
+                    "model_mw": row.average_power_w * 1e3,
+                }
+        return comparison
+
+
+def run_table1(
+    sizes: Sequence[int] = TABLE1_SIZES,
+    iterations: Optional[int] = None,
+    scale: float = 1.0,
+    config: Optional[MSROPMConfig] = None,
+    power_model: Optional[PowerModel] = None,
+    seed: int = 2025,
+) -> Table1Result:
+    """Run the Table 1 experiment (optionally scaled) and collect the rows."""
+    config = config or default_config(seed)
+    power_model = power_model or PowerModel()
+    iterations = iterations if iterations is not None else scaled_iterations(scale)
+    result = Table1Result()
+    for requested in sizes:
+        problem = scaled_problem(requested, scale=scale)
+        machine = MSROPM(problem.graph, config)
+        solve = machine.solve(iterations=iterations, seed=seed + requested)
+        power = power_model.total_power(problem.graph.num_nodes, problem.graph.num_edges)
+        result.rows.append(
+            Table1Row(
+                problem_name=f"{requested}-node",
+                requested_nodes=requested,
+                simulated_nodes=problem.graph.num_nodes,
+                num_edges=problem.graph.num_edges,
+                iterations=iterations,
+                average_power_w=power,
+                top_accuracy=float(solve.best_accuracy),
+                mean_accuracy=float(solve.accuracies.mean()),
+                num_exact=solve.num_exact_solutions,
+            )
+        )
+    return result
+
+
+def power_scaling_series(
+    sizes: Sequence[int] = TABLE1_SIZES, power_model: Optional[PowerModel] = None
+) -> Dict[int, float]:
+    """Modeled average power (W) versus problem size — the Table 1 power column.
+
+    Power is a pure circuit-model quantity (it does not require solving), so
+    the full-size fabrics are always evaluated exactly.
+    """
+    power_model = power_model or PowerModel()
+    series: Dict[int, float] = {}
+    for requested in sizes:
+        problem = scaled_problem(requested, scale=1.0)
+        series[requested] = power_model.total_power(problem.graph.num_nodes, problem.graph.num_edges)
+    return series

@@ -1,0 +1,137 @@
+"""The standard Potts model (Eq. 3 of the paper).
+
+The Potts Hamiltonian generalizes the Ising model to N-valued spins::
+
+    H_Potts = sum_{i,j} J_ij * delta(s_i, s_j),   s_i in {0 .. N-1}
+
+For graph coloring with positive ``J`` the energy counts monochromatic edges,
+so the ground state (energy 0 for an N-colorable graph) is a proper coloring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.graphs.coloring import Coloring
+from repro.graphs.graph import Graph, Node
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass
+class PottsProblem:
+    """A Potts problem: graph, number of spin values, per-edge couplings.
+
+    Attributes
+    ----------
+    graph:
+        Interaction graph.
+    num_states:
+        Number of Potts spin values ``N`` (colors).
+    couplings:
+        Optional per-edge coupling overrides; missing edges use
+        ``default_coupling``.
+    default_coupling:
+        Default ``J_ij``.  The coloring convention is ``+1`` (penalize equal
+        neighbouring spins).
+    """
+
+    graph: Graph
+    num_states: int
+    couplings: Dict[Tuple[Node, Node], float] = field(default_factory=dict)
+    default_coupling: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_states < 2:
+            raise ReproError(f"num_states must be at least 2, got {self.num_states}")
+        for (u, v) in self.couplings:
+            if not self.graph.has_edge(u, v):
+                raise ReproError(f"coupling given for non-edge ({u!r}, {v!r})")
+
+    # ------------------------------------------------------------------
+    def coupling(self, u: Node, v: Node) -> float:
+        """Return ``J_uv`` (symmetric lookup)."""
+        if not self.graph.has_edge(u, v):
+            raise ReproError(f"({u!r}, {v!r}) is not an edge of the problem graph")
+        if (u, v) in self.couplings:
+            return self.couplings[(u, v)]
+        if (v, u) in self.couplings:
+            return self.couplings[(v, u)]
+        return self.default_coupling
+
+    def energy(self, spins: Mapping[Node, int]) -> float:
+        """Return ``sum_edges J_ij * delta(s_i, s_j)``."""
+        total = 0.0
+        for u, v in self.graph.edges():
+            su = self._validated_spin(spins, u)
+            sv = self._validated_spin(spins, v)
+            if su == sv:
+                total += self.coupling(u, v)
+        return total
+
+    def energy_of_coloring(self, coloring: Coloring) -> float:
+        """Energy of a :class:`Coloring` (delegates to :meth:`energy`)."""
+        if coloring.num_colors > self.num_states:
+            raise ReproError(
+                f"coloring uses {coloring.num_colors} colors but the problem has {self.num_states} states"
+            )
+        return self.energy(coloring.assignment)
+
+    def ground_state_energy(self) -> float:
+        """Return the known ground-state energy for N-colorable instances.
+
+        For the uniform anti-coloring convention (positive couplings) a proper
+        coloring has zero monochromatic edges, hence energy 0.  Problems with
+        negative couplings have no closed-form ground state and raise.
+        """
+        if any(self.coupling(u, v) < 0 for u, v in self.graph.edges()):
+            raise ReproError("ground-state energy only known for non-negative couplings")
+        return 0.0
+
+    def random_spins(self, seed: SeedLike = None) -> Dict[Node, int]:
+        """Return a uniformly random spin (color) assignment."""
+        rng = make_rng(seed)
+        values = rng.integers(0, self.num_states, size=self.graph.num_nodes)
+        return {node: int(value) for node, value in zip(self.graph.nodes, values)}
+
+    def to_coloring(self, spins: Mapping[Node, int]) -> Coloring:
+        """Wrap a spin assignment into a :class:`Coloring`."""
+        assignment = {node: self._validated_spin(spins, node) for node in self.graph.nodes}
+        return Coloring(assignment=assignment, num_colors=self.num_states)
+
+    def _validated_spin(self, spins: Mapping[Node, int], node: Node) -> int:
+        try:
+            value = int(spins[node])
+        except KeyError as exc:
+            raise ReproError(f"node {node!r} has no spin value") from exc
+        if not 0 <= value < self.num_states:
+            raise ReproError(
+                f"spin of node {node!r} must be in [0, {self.num_states}), got {value}"
+            )
+        return value
+
+    @classmethod
+    def coloring_problem(cls, graph: Graph, num_colors: int, penalty: float = 1.0) -> "PottsProblem":
+        """Return the Potts formulation of the ``num_colors``-coloring of ``graph``."""
+        if penalty <= 0:
+            raise ReproError(f"penalty must be positive, got {penalty}")
+        return cls(graph=graph, num_states=num_colors, default_coupling=float(penalty))
+
+
+def potts_accuracy(problem: PottsProblem, spins: Mapping[Node, int]) -> float:
+    """Return the paper's accuracy metric: fraction of non-monochromatic edges.
+
+    Only valid for uniform positive couplings (the coloring convention); the
+    metric is the normalized Hamiltonian relative to the exact solution.
+    """
+    num_edges = problem.graph.num_edges
+    if num_edges == 0:
+        return 1.0
+    monochromatic = 0
+    for u, v in problem.graph.edges():
+        if problem._validated_spin(spins, u) == problem._validated_spin(spins, v):
+            monochromatic += 1
+    return 1.0 - monochromatic / num_edges

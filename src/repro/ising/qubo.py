@@ -1,0 +1,111 @@
+"""QUBO (quadratic unconstrained binary optimization) helpers.
+
+Ising machines and QUBO solvers are interchangeable up to the affine variable
+substitution ``s = 2x - 1``.  The experiment harness uses these conversions to
+cross-check energies between the Ising layer, the one-hot coloring encoding
+and the simulated-annealing baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.graphs.graph import Graph
+from repro.ising.ising_model import IsingProblem
+
+
+@dataclass
+class QUBO:
+    """A QUBO instance ``E(x) = x^T Q x + offset`` over 0/1 variables."""
+
+    matrix: np.ndarray
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.matrix = np.asarray(self.matrix, dtype=float)
+        if self.matrix.ndim != 2 or self.matrix.shape[0] != self.matrix.shape[1]:
+            raise ReproError(f"QUBO matrix must be square, got shape {self.matrix.shape}")
+        if not np.allclose(self.matrix, self.matrix.T):
+            raise ReproError("QUBO matrix must be symmetric")
+
+    @property
+    def num_variables(self) -> int:
+        """Number of binary variables."""
+        return self.matrix.shape[0]
+
+    def energy(self, bits: np.ndarray) -> float:
+        """Evaluate ``x^T Q x + offset`` for a 0/1 vector ``x``."""
+        bits = np.asarray(bits, dtype=float)
+        if bits.shape != (self.num_variables,):
+            raise ReproError(
+                f"expected {self.num_variables} variables, got shape {bits.shape}"
+            )
+        if not np.all(np.isin(bits, (0.0, 1.0))):
+            raise ReproError("QUBO variables must be 0/1")
+        return float(bits @ self.matrix @ bits + self.offset)
+
+    def to_ising_terms(self) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Return ``(J, h, constant)`` of the equivalent +/-1 Ising energy.
+
+        Substituting ``x_i = (1 + s_i) / 2`` into ``x^T Q x``::
+
+            x^T Q x = 1/4 [ sum_ij Q_ij + 2 * (Q 1) . s + s^T Q s ]
+
+        and ``s^T Q s = sum_{i!=j} Q_ij s_i s_j + trace(Q)`` (since s_i^2 = 1),
+        which yields ``J_ij = Q_ij / 2`` on off-diagonals, ``h_i = (Q 1)_i / 2``
+        and a constant collecting the rest.
+        """
+        q = self.matrix
+        coupling = q / 2.0 - np.diag(np.diag(q)) / 2.0
+        field = q.sum(axis=1) / 2.0
+        constant = float(self.offset + q.sum() / 4.0 + np.trace(q) / 4.0)
+        return coupling, field, constant
+
+    def ising_energy(self, spins: np.ndarray) -> float:
+        """Evaluate the equivalent Ising energy on a +/-1 spin vector."""
+        spins = np.asarray(spins, dtype=float)
+        if spins.shape != (self.num_variables,):
+            raise ReproError(
+                f"expected {self.num_variables} spins, got shape {spins.shape}"
+            )
+        if not np.all(np.isin(spins, (-1.0, 1.0))):
+            raise ReproError("spins must be +/-1")
+        coupling, field, constant = self.to_ising_terms()
+        interaction = 0.5 * float(spins @ coupling @ spins)
+        return interaction + float(field @ spins) + constant
+
+
+def ising_to_qubo(problem: IsingProblem) -> QUBO:
+    """Convert a (field-free) Ising problem to a QUBO via ``s = 2x - 1``.
+
+    ``sum_ij J_ij s_i s_j`` with ``s = 2x - 1`` becomes
+    ``4 * sum J_ij x_i x_j - 2 * sum_i x_i * (sum_j J_ij) * 2 + sum J_ij``;
+    the result is returned with the exact offset so energies match.
+    """
+    coupling = problem.coupling_matrix(dense=True)
+    n = problem.graph.num_nodes
+    matrix = np.zeros((n, n), dtype=float)
+    # Pairwise term: J_ij s_i s_j over unordered pairs = 1/2 s^T J s.
+    matrix += 2.0 * coupling  # yields 4*J_ij on the symmetric pair (x^T M x counts both triangles)
+    linear = -2.0 * coupling.sum(axis=1)
+    matrix += np.diag(linear)
+    offset = float(coupling.sum() / 2.0)
+    return QUBO(matrix=(matrix + matrix.T) / 2.0, offset=offset)
+
+
+def qubo_from_dict(num_variables: int, terms: Dict[Tuple[int, int], float], offset: float = 0.0) -> QUBO:
+    """Build a QUBO from a ``{(i, j): weight}`` dictionary (symmetrized)."""
+    matrix = np.zeros((num_variables, num_variables), dtype=float)
+    for (i, j), weight in terms.items():
+        if not (0 <= i < num_variables and 0 <= j < num_variables):
+            raise ReproError(f"term ({i}, {j}) outside variable range")
+        if i == j:
+            matrix[i, i] += weight
+        else:
+            matrix[i, j] += weight / 2.0
+            matrix[j, i] += weight / 2.0
+    return QUBO(matrix=matrix, offset=offset)

@@ -1,0 +1,33 @@
+"""SAT substrate: CNF representation, DIMACS I/O, DPLL solver, coloring encoder."""
+
+from repro.sat.cnf import CNF, negate, variable_of
+from repro.sat.dimacs import (
+    from_dimacs_cnf,
+    read_dimacs_cnf,
+    to_dimacs_cnf,
+    write_dimacs_cnf,
+)
+from repro.sat.solver import DPLLSolver, SATResult, solve_cnf
+from repro.sat.coloring_sat import (
+    ColoringEncodingSAT,
+    chromatic_number_sat,
+    encode_coloring,
+    sat_coloring,
+)
+
+__all__ = [
+    "CNF",
+    "negate",
+    "variable_of",
+    "to_dimacs_cnf",
+    "from_dimacs_cnf",
+    "read_dimacs_cnf",
+    "write_dimacs_cnf",
+    "DPLLSolver",
+    "SATResult",
+    "solve_cnf",
+    "ColoringEncodingSAT",
+    "encode_coloring",
+    "sat_coloring",
+    "chromatic_number_sat",
+]

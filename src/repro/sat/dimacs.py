@@ -1,0 +1,70 @@
+"""DIMACS CNF serialization (``p cnf`` format)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.exceptions import SATError
+from repro.sat.cnf import CNF
+
+PathLike = Union[str, Path]
+
+
+def to_dimacs_cnf(formula: CNF, comment: str = "") -> str:
+    """Serialize ``formula`` to the DIMACS ``p cnf`` format."""
+    lines: List[str] = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"c {row}")
+    lines.append(f"p cnf {formula.num_variables} {formula.num_clauses}")
+    for clause in formula.clauses:
+        lines.append(" ".join(str(literal) for literal in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def from_dimacs_cnf(text: str) -> CNF:
+    """Parse a DIMACS CNF document."""
+    declared_vars: Optional[int] = None
+    formula = CNF()
+    pending: List[int] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SATError(f"malformed problem line at {line_number}: {raw!r}")
+            declared_vars = int(parts[2])
+            continue
+        for token in line.split():
+            try:
+                literal = int(token)
+            except ValueError as exc:
+                raise SATError(f"invalid literal {token!r} at line {line_number}") from exc
+            if literal == 0:
+                if pending:
+                    formula.add_clause(pending)
+                    pending = []
+            else:
+                pending.append(literal)
+    if pending:
+        formula.add_clause(pending)
+    if declared_vars is None:
+        raise SATError("DIMACS CNF input has no problem ('p cnf') line")
+    if declared_vars > formula.num_variables:
+        # Declare the extra (unused) variables so num_variables matches the header.
+        while formula.num_variables < declared_vars:
+            formula.new_variable()
+    return formula
+
+
+def write_dimacs_cnf(formula: CNF, path: PathLike, comment: str = "") -> None:
+    """Write ``formula`` to ``path``."""
+    Path(path).write_text(to_dimacs_cnf(formula, comment=comment), encoding="utf-8")
+
+
+def read_dimacs_cnf(path: PathLike) -> CNF:
+    """Read a DIMACS CNF file from ``path``."""
+    return from_dimacs_cnf(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,95 @@
+"""Small SI-unit helpers used throughout the circuit and timing models.
+
+The circuit layer works internally in SI base units (seconds, hertz, watts,
+volts, farads, amps).  The paper quotes values in engineering units (ns, GHz,
+mW, fF); these helpers make those conversions explicit and readable at call
+sites, e.g. ``ns(20)`` or ``as_mw(power)``.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Prefix multipliers
+# ---------------------------------------------------------------------------
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NANO
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICRO
+
+
+def ps(value: float) -> float:
+    """Convert picoseconds to seconds."""
+    return value * PICO
+
+
+def ghz(value: float) -> float:
+    """Convert gigahertz to hertz."""
+    return value * GIGA
+
+
+def mhz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * MEGA
+
+
+def mw(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return value * MILLI
+
+
+def uw(value: float) -> float:
+    """Convert microwatts to watts."""
+    return value * MICRO
+
+
+def ff(value: float) -> float:
+    """Convert femtofarads to farads."""
+    return value * FEMTO
+
+
+def pf(value: float) -> float:
+    """Convert picofarads to farads."""
+    return value * PICO
+
+
+def ua(value: float) -> float:
+    """Convert microamperes to amperes."""
+    return value * MICRO
+
+
+def as_ns(seconds: float) -> float:
+    """Express a duration in nanoseconds."""
+    return seconds / NANO
+
+def as_us(seconds: float) -> float:
+    """Express a duration in microseconds."""
+    return seconds / MICRO
+
+
+def as_ghz(hertz: float) -> float:
+    """Express a frequency in gigahertz."""
+    return hertz / GIGA
+
+
+def as_mw(watts: float) -> float:
+    """Express a power in milliwatts."""
+    return watts / MILLI
+
+
+def as_uw(watts: float) -> float:
+    """Express a power in microwatts."""
+    return watts / MICRO

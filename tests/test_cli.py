@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.rows == 7
+        assert args.iterations == 10
+        assert args.colors == 4
+
+    def test_table_scale_option(self):
+        args = build_parser().parse_args(["table1", "--scale", "0.25"])
+        assert args.scale == 0.25
+
+    def test_fig3_options(self):
+        args = build_parser().parse_args(["fig3", "--rows", "5", "--seed", "3"])
+        assert args.rows == 5 and args.seed == 3
+
+
+class TestMain:
+    def test_solve_command_output(self, capsys):
+        exit_code = main(["solve", "--rows", "4", "--iterations", "2", "--seed", "1"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "MSROPM on 16-node King's graph" in captured
+        assert "best accuracy" in captured
+
+    def test_fig3_command_output(self, capsys):
+        exit_code = main(["fig3", "--rows", "3", "--seed", "2"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 3" in captured
+
+    def test_table1_command_scaled(self, capsys):
+        exit_code = main(["table1", "--scale", "0.08", "--iterations", "2", "--seed", "3"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 1" in captured
+        assert "4^49" in captured
+
+    def test_fig5_command_scaled(self, capsys):
+        exit_code = main(["fig5", "--scale", "0.08", "--iterations", "2", "--seed", "4"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 5(a)" in captured

@@ -1,0 +1,64 @@
+"""Tests for the self-annealing (energy landscape) diagnostics experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_energy_landscape, run_energy_landscape
+
+
+@pytest.fixture(scope="module")
+def landscape(request):
+    """One instrumented run on a small board with a fast configuration."""
+    from repro.circuit.control import TimingPlan
+    from repro.core.config import MSROPMConfig
+    from repro.units import ns
+
+    config = MSROPMConfig(
+        num_colors=4,
+        timing=TimingPlan(initialization=ns(1.0), annealing=ns(8.0), shil_settling=ns(3.0)),
+        time_step=0.05e-9,
+        record_every=1,
+        seed=21,
+    )
+    return run_energy_landscape(rows=4, cols=4, config=config, seed=21)
+
+
+class TestEnergyLandscape:
+    def test_interval_structure(self, landscape):
+        labels = [item.label for item in landscape.intervals]
+        assert labels == ["init-1", "anneal-1", "shil-1", "init-2", "anneal-2", "shil-2"]
+        for item in landscape.intervals:
+            assert item.end_time > item.start_time
+
+    def test_stage1_annealing_lowers_the_coupling_energy(self, landscape):
+        """Self-annealing: the coupled interval must descend the vector-Potts energy."""
+        anneal1 = landscape.interval("anneal-1")
+        assert anneal1.energy_drop > 0.0
+        assert landscape.total_energy_drop() > 0.0
+
+    def test_shil_intervals_binarize_the_phases(self, landscape):
+        """SHIL lock: the 2nd-harmonic order parameter must end near 1."""
+        shil1 = landscape.interval("shil-1")
+        shil2 = landscape.interval("shil-2")
+        assert shil1.binarization_end > 0.9
+        assert shil1.binarization_gain > 0.0
+        # In the final stage the two partitions lock on shifted grids (0/180 and
+        # 90/270), so the global second-harmonic order is lower than within one
+        # partition but the phases still discretize well enough to read out.
+        assert shil2.binarization_end >= 0.0
+        assert landscape.accuracy >= 0.85
+
+    def test_initial_phases_are_not_binarized(self, landscape):
+        init1 = landscape.interval("init-1")
+        assert init1.binarization_start < 0.6
+
+    def test_unknown_interval_label(self, landscape):
+        with pytest.raises(KeyError):
+            landscape.interval("anneal-9")
+
+    def test_render(self, landscape):
+        text = render_energy_landscape(landscape)
+        assert "Self-annealing diagnostics" in text
+        assert "anneal-2" in text
+        assert "accuracy" in text

@@ -1,0 +1,97 @@
+"""Tests for DIMACS / JSON graph serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    Coloring,
+    from_dimacs,
+    from_json,
+    kings_graph,
+    read_dimacs,
+    read_json,
+    to_dimacs,
+    to_json,
+    write_dimacs,
+    write_json,
+)
+from repro.graphs.io import coloring_from_json, coloring_to_json, edge_list
+
+
+class TestDimacs:
+    def test_round_trip_structure(self):
+        graph = kings_graph(3, 3)
+        text = to_dimacs(graph, comment="3x3 kings")
+        back = from_dimacs(text)
+        assert back.num_nodes == graph.num_nodes
+        assert back.num_edges == graph.num_edges
+
+    def test_header_line(self):
+        text = to_dimacs(kings_graph(2, 2))
+        assert "p edge 4 6" in text
+
+    def test_comment_lines_preserved_as_comments(self):
+        text = to_dimacs(kings_graph(2, 2), comment="line one\nline two")
+        assert text.count("\nc ") >= 1 or text.startswith("c ")
+
+    def test_parse_ignores_comments_and_self_loops(self):
+        text = "c hello\np edge 3 3\ne 1 2\ne 2 2\ne 2 3\n"
+        graph = from_dimacs(text)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_parse_requires_problem_line(self):
+        with pytest.raises(GraphError):
+            from_dimacs("e 1 2\n")
+
+    def test_parse_rejects_unknown_record(self):
+        with pytest.raises(GraphError):
+            from_dimacs("p edge 2 1\nx 1 2\n")
+
+    def test_parse_rejects_too_many_edges(self):
+        with pytest.raises(GraphError):
+            from_dimacs("p edge 3 1\ne 1 2\ne 2 3\n")
+
+    def test_file_round_trip(self, tmp_path):
+        graph = kings_graph(3, 4)
+        path = tmp_path / "graph.col"
+        write_dimacs(graph, path)
+        back = read_dimacs(path)
+        assert back.num_edges == graph.num_edges
+        assert back.name == "graph"
+
+
+class TestJson:
+    def test_round_trip_with_tuple_labels(self):
+        graph = kings_graph(3, 3)
+        back = from_json(to_json(graph))
+        assert set(back.nodes) == set(graph.nodes)
+        assert set(map(frozenset, back.edges())) == set(map(frozenset, graph.edges()))
+
+    def test_invalid_json(self):
+        with pytest.raises(GraphError):
+            from_json("{not json")
+
+    def test_missing_fields(self):
+        with pytest.raises(GraphError):
+            from_json('{"nodes": []}')
+
+    def test_file_round_trip(self, tmp_path):
+        graph = kings_graph(2, 5)
+        path = tmp_path / "graph.json"
+        write_json(graph, path)
+        assert read_json(path).num_nodes == 10
+
+    def test_coloring_round_trip(self):
+        graph = kings_graph(3, 3)
+        coloring = Coloring.from_array(graph, [i % 4 for i in range(9)], 4)
+        back = coloring_from_json(graph, coloring_to_json(graph, coloring))
+        assert back.assignment == coloring.assignment
+
+    def test_edge_list_indices(self):
+        graph = kings_graph(2, 2)
+        pairs = edge_list(graph)
+        assert len(pairs) == graph.num_edges
+        assert all(0 <= i < 4 and 0 <= j < 4 for i, j in pairs)

@@ -1,0 +1,173 @@
+"""Tests for the Ising and Potts model layers (Eqs. 1 and 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.graphs import Coloring, cycle_graph, kings_graph, kings_graph_reference_coloring
+from repro.ising import (
+    IsingProblem,
+    PottsProblem,
+    labels_to_spins,
+    potts_accuracy,
+    spins_to_labels,
+)
+
+
+class TestIsingProblem:
+    def test_antiferromagnetic_energy_two_spins(self):
+        graph = cycle_graph(2)
+        problem = IsingProblem.antiferromagnetic(graph, strength=1.0)
+        aligned = {0: 1, 1: 1}
+        opposed = {0: 1, 1: -1}
+        # Eq. (1) has no leading minus, so the anti-aligning coupling is J = +1:
+        # aligned neighbours are penalized, opposed neighbours are rewarded.
+        assert problem.energy(aligned) == pytest.approx(1.0)
+        assert problem.energy(opposed) == pytest.approx(-1.0)
+
+    def test_energy_convention_matches_eq1(self):
+        """H = sum J_ij s_i s_j with anti-aligning J is minimized by anti-aligned spins."""
+        graph = cycle_graph(4)
+        problem = IsingProblem.antiferromagnetic(graph)
+        alternating = {0: 1, 1: -1, 2: 1, 3: -1}
+        uniform = {0: 1, 1: 1, 2: 1, 3: 1}
+        assert problem.energy(alternating) < problem.energy(uniform)
+
+    def test_energy_from_array_matches_dict(self):
+        graph = kings_graph(3, 3)
+        problem = IsingProblem.antiferromagnetic(graph)
+        spins_dict = problem.random_spins(seed=1)
+        spins_array = np.array([spins_dict[node] for node in graph.nodes])
+        assert problem.energy(spins_dict) == pytest.approx(problem.energy_from_array(spins_array))
+
+    def test_energy_from_array_validation(self):
+        problem = IsingProblem.antiferromagnetic(cycle_graph(3))
+        with pytest.raises(ReproError):
+            problem.energy_from_array(np.array([1.0, 0.5, -1.0]))
+        with pytest.raises(ReproError):
+            problem.energy_from_array(np.array([1.0, -1.0]))
+
+    def test_invalid_spin_value(self):
+        problem = IsingProblem.antiferromagnetic(cycle_graph(2))
+        with pytest.raises(ReproError):
+            problem.energy({0: 1, 1: 0})
+
+    def test_coupling_lookup_symmetric(self):
+        graph = cycle_graph(3)
+        problem = IsingProblem(graph=graph, couplings={(0, 1): 2.0}, default_coupling=1.0)
+        assert problem.coupling(1, 0) == 2.0
+        assert problem.coupling(1, 2) == 1.0
+
+    def test_coupling_for_non_edge(self):
+        problem = IsingProblem.antiferromagnetic(cycle_graph(4))
+        with pytest.raises(ReproError):
+            problem.coupling(0, 2)
+
+    def test_coupling_on_nonexistent_edge_rejected_at_construction(self):
+        with pytest.raises(ReproError):
+            IsingProblem(graph=cycle_graph(4), couplings={(0, 2): -1.0})
+
+    def test_coupling_matrix_symmetric(self):
+        problem = IsingProblem.antiferromagnetic(kings_graph(3, 3))
+        matrix = problem.coupling_matrix(dense=True)
+        assert np.allclose(matrix, matrix.T)
+        assert matrix.max() == 1.0
+
+    def test_ground_state_bound(self):
+        problem = IsingProblem.antiferromagnetic(cycle_graph(5), strength=2.0)
+        assert problem.ground_state_energy_bound() == pytest.approx(-10.0)
+
+    def test_ferromagnetic_prefers_alignment(self):
+        problem = IsingProblem.ferromagnetic(cycle_graph(4))
+        uniform = {i: 1 for i in range(4)}
+        alternating = {0: 1, 1: -1, 2: 1, 3: -1}
+        assert problem.energy(uniform) < problem.energy(alternating)
+
+    def test_strength_validation(self):
+        with pytest.raises(ReproError):
+            IsingProblem.antiferromagnetic(cycle_graph(3), strength=0.0)
+
+    def test_label_spin_conversions(self):
+        spins = {1: 1, 2: -1}
+        labels = spins_to_labels(spins)
+        assert labels == {1: 0, 2: 1}
+        assert labels_to_spins(labels) == spins
+
+    def test_label_spin_validation(self):
+        with pytest.raises(ReproError):
+            spins_to_labels({1: 2})
+        with pytest.raises(ReproError):
+            labels_to_spins({1: 3})
+
+
+class TestPottsProblem:
+    def test_energy_counts_monochromatic_edges(self):
+        graph = cycle_graph(3)
+        problem = PottsProblem.coloring_problem(graph, num_colors=3)
+        all_same = {0: 0, 1: 0, 2: 0}
+        all_diff = {0: 0, 1: 1, 2: 2}
+        assert problem.energy(all_same) == pytest.approx(3.0)
+        assert problem.energy(all_diff) == pytest.approx(0.0)
+
+    def test_ground_state_energy_is_zero_for_coloring(self):
+        problem = PottsProblem.coloring_problem(kings_graph(4, 4), num_colors=4)
+        assert problem.ground_state_energy() == 0.0
+
+    def test_ground_state_unknown_for_negative_couplings(self):
+        problem = PottsProblem(graph=cycle_graph(3), num_states=3, default_coupling=-1.0)
+        with pytest.raises(ReproError):
+            problem.ground_state_energy()
+
+    def test_reference_coloring_is_ground_state(self):
+        graph = kings_graph(5, 5)
+        problem = PottsProblem.coloring_problem(graph, num_colors=4)
+        coloring = kings_graph_reference_coloring(5, 5)
+        assert problem.energy_of_coloring(coloring) == 0.0
+
+    def test_energy_of_coloring_palette_check(self):
+        problem = PottsProblem.coloring_problem(cycle_graph(3), num_colors=2)
+        coloring = Coloring(assignment={0: 0, 1: 1, 2: 2}, num_colors=3)
+        with pytest.raises(ReproError):
+            problem.energy_of_coloring(coloring)
+
+    def test_spin_validation(self):
+        problem = PottsProblem.coloring_problem(cycle_graph(3), num_colors=3)
+        with pytest.raises(ReproError):
+            problem.energy({0: 0, 1: 1, 2: 5})
+        with pytest.raises(ReproError):
+            problem.energy({0: 0, 1: 1})
+
+    def test_num_states_validation(self):
+        with pytest.raises(ReproError):
+            PottsProblem(graph=cycle_graph(3), num_states=1)
+
+    def test_random_spins_in_range(self):
+        problem = PottsProblem.coloring_problem(kings_graph(4, 4), num_colors=4)
+        spins = problem.random_spins(seed=7)
+        assert all(0 <= value < 4 for value in spins.values())
+
+    def test_to_coloring(self):
+        problem = PottsProblem.coloring_problem(cycle_graph(4), num_colors=2)
+        coloring = problem.to_coloring({0: 0, 1: 1, 2: 0, 3: 1})
+        assert coloring.is_proper(cycle_graph(4))
+
+    def test_potts_accuracy_matches_paper_metric(self):
+        graph = kings_graph(4, 4)
+        problem = PottsProblem.coloring_problem(graph, num_colors=4)
+        reference = kings_graph_reference_coloring(4, 4)
+        assert potts_accuracy(problem, reference.assignment) == 1.0
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_accuracy_equals_one_minus_normalized_energy(self, seed):
+        """The paper's accuracy metric is the normalized Hamiltonian (Sec. 4)."""
+        graph = kings_graph(4, 4)
+        problem = PottsProblem.coloring_problem(graph, num_colors=4)
+        spins = problem.random_spins(seed=seed)
+        accuracy = potts_accuracy(problem, spins)
+        energy = problem.energy(spins)
+        assert accuracy == pytest.approx(1.0 - energy / graph.num_edges)

@@ -1,0 +1,89 @@
+"""Tests for the unit helpers and RNG management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.rng import iteration_seeds, make_rng, random_phases, spawn_rngs
+
+
+class TestUnits:
+    def test_nanoseconds(self):
+        assert units.ns(5.0) == pytest.approx(5e-9)
+
+    def test_microseconds(self):
+        assert units.us(2.0) == pytest.approx(2e-6)
+
+    def test_gigahertz(self):
+        assert units.ghz(1.3) == pytest.approx(1.3e9)
+
+    def test_milliwatts(self):
+        assert units.mw(9.4) == pytest.approx(9.4e-3)
+
+    def test_femtofarads(self):
+        assert units.ff(2.3) == pytest.approx(2.3e-15)
+
+    def test_round_trip_time(self):
+        assert units.as_ns(units.ns(20.0)) == pytest.approx(20.0)
+
+    def test_round_trip_frequency(self):
+        assert units.as_ghz(units.ghz(7.0)) == pytest.approx(7.0)
+
+    def test_round_trip_power(self):
+        assert units.as_mw(units.mw(283.4)) == pytest.approx(283.4)
+        assert units.as_uw(units.uw(8.0)) == pytest.approx(8.0)
+
+    def test_picoseconds_and_picofarads(self):
+        assert units.ps(10.0) == pytest.approx(1e-11)
+        assert units.pf(1.0) == pytest.approx(1e-12)
+
+    def test_microamperes(self):
+        assert units.ua(600.0) == pytest.approx(6e-4)
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        a = make_rng(42).integers(0, 1000, size=10)
+        b = make_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_make_rng_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(7, 3)
+        draws = [rng.integers(0, 10**9) for rng in rngs]
+        assert len(set(draws)) == 3
+
+    def test_spawn_rngs_reproducible(self):
+        first = [rng.integers(0, 10**9) for rng in spawn_rngs(7, 3)]
+        second = [rng.integers(0, 10**9) for rng in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_spawn_rngs_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_iteration_seeds_deterministic(self):
+        assert iteration_seeds(5, 4) == iteration_seeds(5, 4)
+
+    def test_iteration_seeds_distinct(self):
+        seeds = iteration_seeds(5, 40)
+        assert len(set(seeds)) == 40
+
+    def test_iteration_seeds_count_validation(self):
+        with pytest.raises(ValueError):
+            iteration_seeds(0, -2)
+
+    def test_random_phases_range(self):
+        phases = random_phases(1000, rng=3)
+        assert phases.shape == (1000,)
+        assert phases.min() >= 0.0
+        assert phases.max() < 2 * np.pi
+
+    def test_random_phases_negative(self):
+        with pytest.raises(ValueError):
+            random_phases(-1)
