@@ -22,6 +22,9 @@ from repro.core import (
     IterationResult,
     SolveResult,
     StageResult,
+    BatchedEngine,
+    SequentialEngine,
+    SolverEngine,
     divide_and_color,
     solve_coloring,
 )
@@ -45,6 +48,9 @@ __all__ = [
     "StageResult",
     "solve_coloring",
     "divide_and_color",
+    "SolverEngine",
+    "SequentialEngine",
+    "BatchedEngine",
     "Graph",
     "Coloring",
     "kings_graph",

@@ -76,6 +76,7 @@ def sweep_configuration(
     parameter_grid: Dict[str, Sequence[Any]],
     iterations: int = 5,
     seed: Optional[int] = 0,
+    engine: Optional[str] = None,
 ) -> SweepResult:
     """Evaluate the MSROPM over the cartesian product of ``parameter_grid``.
 
@@ -84,11 +85,20 @@ def sweep_configuration(
     strength beyond the oscillation-quenching cap) are skipped rather than
     aborting the sweep, since probing the edges of the valid region is exactly
     what a design-space exploration does.
+
+    Every point's iterations execute on the replica engine selected by
+    ``engine`` (``"sequential"``/``"batched"``); ``None`` keeps
+    ``base_config.engine`` — the batched default makes wide ablation grids
+    roughly an order of magnitude cheaper.
     """
     if iterations < 1:
         raise AnalysisError("iterations must be at least 1")
     if not parameter_grid:
         raise AnalysisError("parameter_grid must not be empty")
+    if engine is not None:
+        # Applied (and validated) up front: a bad engine name is a caller
+        # error and must raise, not silently skip every grid point.
+        base_config = base_config.with_updates(engine=engine)
     names = list(parameter_grid.keys())
     points: List[SweepPoint] = []
 
@@ -125,11 +135,17 @@ def coupling_strength_sweep(
     base_config: Optional[MSROPMConfig] = None,
     iterations: int = 5,
     seed: Optional[int] = 0,
+    engine: Optional[str] = None,
 ) -> SweepResult:
     """Ablation: solution quality versus B2B coupling strength."""
     base = base_config or MSROPMConfig()
     return sweep_configuration(
-        graph, base, {"coupling_strength": list(strengths)}, iterations=iterations, seed=seed
+        graph,
+        base,
+        {"coupling_strength": list(strengths)},
+        iterations=iterations,
+        seed=seed,
+        engine=engine,
     )
 
 
@@ -139,11 +155,17 @@ def shil_strength_sweep(
     base_config: Optional[MSROPMConfig] = None,
     iterations: int = 5,
     seed: Optional[int] = 0,
+    engine: Optional[str] = None,
 ) -> SweepResult:
     """Ablation: solution quality versus SHIL injection strength."""
     base = base_config or MSROPMConfig()
     return sweep_configuration(
-        graph, base, {"shil_strength": list(strengths)}, iterations=iterations, seed=seed
+        graph,
+        base,
+        {"shil_strength": list(strengths)},
+        iterations=iterations,
+        seed=seed,
+        engine=engine,
     )
 
 
@@ -153,6 +175,7 @@ def annealing_time_sweep(
     base_config: Optional[MSROPMConfig] = None,
     iterations: int = 5,
     seed: Optional[int] = 0,
+    engine: Optional[str] = None,
 ) -> SweepResult:
     """Ablation: solution quality versus the per-stage annealing duration."""
     from repro.circuit.control import TimingPlan
@@ -160,5 +183,5 @@ def annealing_time_sweep(
     base = base_config or MSROPMConfig()
     timings = [replace(base.timing, annealing=duration) for duration in annealing_times]
     return sweep_configuration(
-        graph, base, {"timing": timings}, iterations=iterations, seed=seed
+        graph, base, {"timing": timings}, iterations=iterations, seed=seed, engine=engine
     )

@@ -6,6 +6,10 @@ Solve a 7x7 King's graph 4-coloring with 10 iterations::
 
     msropm solve --rows 7 --iterations 10 --seed 1
 
+Compare against the original per-iteration loop (same results per seed)::
+
+    msropm solve --rows 7 --iterations 10 --seed 1 --engine sequential
+
 Reproduce the paper's tables and figures (optionally scaled down)::
 
     msropm table1 --scale 0.25
@@ -38,11 +42,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    engine_kwargs = dict(
+        choices=("sequential", "batched"),
+        default="batched",
+        help="replica execution engine (batched vectorizes all iterations; "
+        "identical results per seed on sparse graphs such as the paper's "
+        "King's graphs, numerically equivalent on dense ones)",
+    )
+
     solve = subparsers.add_parser("solve", help="solve a King's-graph 4-coloring problem")
     solve.add_argument("--rows", type=int, default=7, help="board side length (rows == cols)")
     solve.add_argument("--iterations", type=int, default=10, help="number of repeated runs")
     solve.add_argument("--colors", type=int, default=4, help="number of colors (power of two)")
     solve.add_argument("--seed", type=int, default=1, help="base RNG seed")
+    solve.add_argument("--engine", **engine_kwargs)
 
     for name, help_text in (
         ("table1", "reproduce Table 1 (per-problem statistics)"),
@@ -53,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--scale", type=float, default=1.0, help="problem/iteration scale in (0, 1]")
         sub.add_argument("--iterations", type=int, default=None, help="override iteration count")
         sub.add_argument("--seed", type=int, default=2025, help="base RNG seed")
+        sub.add_argument("--engine", **engine_kwargs)
 
     fig3 = subparsers.add_parser("fig3", help="reproduce Figure 3 (stage waveforms)")
     fig3.add_argument("--rows", type=int, default=4, help="board side length of the traced run")
@@ -63,7 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_solve(args: argparse.Namespace) -> int:
     graph = kings_graph(args.rows, args.rows)
-    config = MSROPMConfig(num_colors=args.colors, seed=args.seed)
+    config = MSROPMConfig(num_colors=args.colors, seed=args.seed, engine=args.engine)
     machine = MSROPM(graph, config)
     result = machine.solve(iterations=args.iterations, seed=args.seed)
     rows = [
@@ -91,15 +105,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "solve":
         return _run_solve(args)
     if args.command == "table1":
-        result = run_table1(scale=args.scale, iterations=args.iterations, seed=args.seed)
+        result = run_table1(
+            scale=args.scale, iterations=args.iterations, seed=args.seed, engine=args.engine
+        )
         print(result.render())
         return 0
     if args.command == "table2":
-        result = run_table2(scale=args.scale, iterations=args.iterations, seed=args.seed)
+        result = run_table2(
+            scale=args.scale, iterations=args.iterations, seed=args.seed, engine=args.engine
+        )
         print(result.render())
         return 0
     if args.command == "fig5":
-        result = run_figure5(scale=args.scale, iterations=args.iterations, seed=args.seed)
+        result = run_figure5(
+            scale=args.scale, iterations=args.iterations, seed=args.seed, engine=args.engine
+        )
         print(render_figure5(result))
         return 0
     if args.command == "fig3":

@@ -57,10 +57,27 @@ class MSROPMConfig:
         the inter-stage re-initialization interval.
     frequency_detuning_std:
         Relative standard deviation of the per-oscillator free-running
-        frequency mismatch (process variation).  0 models identical
-        oscillators (the paper's idealized simulation); a 65 nm uncompensated
-        ring typically sits in the 0.5-2 % range.  The mismatch is drawn once
-        per machine (static across iterations, like silicon).
+        frequency mismatch (process variation), expressed as a *dimensionless
+        fraction* of the oscillator frequency (0.01 = 1 % mismatch).  0 models
+        identical oscillators (the paper's idealized simulation); a 65 nm
+        uncompensated ring typically sits in the 0.5-2 % range.  The mismatch
+        is drawn once per machine (static across iterations, like silicon).
+        The rad/s value actually fed to the dynamics is the derived property
+        :attr:`frequency_detuning_rate_std` ``= frequency_detuning_std *
+        angular_frequency`` — the two names describe the same knob in
+        different units.
+    engine:
+        Replica execution engine used by :meth:`repro.core.machine.MSROPM.solve`:
+        ``"batched"`` (default) advances all iterations as one vectorized
+        integration, ``"sequential"`` runs them one at a time (the original
+        loop).  Per seed the two produce bit-identical results on the sparse
+        coupling backend (chosen automatically for every sparse graph,
+        including all King's graphs); the dense backend is numerically
+        equivalent to floating-point reordering.
+    coupling_backend:
+        How the batched engine represents coupling matrices: ``"sparse"``
+        (CSR / block-diagonal CSR), ``"dense"`` (group-masked GEMMs), or
+        ``"auto"`` (default — dense only for large, dense graphs).
     seed:
         Base RNG seed for the run (per-iteration seeds are derived from it).
     """
@@ -76,7 +93,14 @@ class MSROPMConfig:
     record_every: int = 10
     stage2_reinit_jitter: float = 0.3
     frequency_detuning_std: float = 0.0
+    engine: str = "batched"
+    coupling_backend: str = "auto"
     seed: Optional[int] = None
+
+    #: Engines accepted by :attr:`engine`.
+    ENGINE_NAMES = ("sequential", "batched")
+    #: Coupling backends accepted by :attr:`coupling_backend`.
+    COUPLING_BACKENDS = ("auto", "sparse", "dense")
 
     #: Coupling strengths above this level would stall a real ROSC (Sec. 2.3).
     MAX_COUPLING_STRENGTH: float = 0.5
@@ -112,6 +136,14 @@ class MSROPMConfig:
             raise ConfigurationError(
                 "frequency_detuning_std must be in [0, 0.1) — larger mismatch breaks injection locking"
             )
+        if self.engine not in self.ENGINE_NAMES:
+            raise ConfigurationError(
+                f"engine must be one of {self.ENGINE_NAMES}, got {self.engine!r}"
+            )
+        if self.coupling_backend not in self.COUPLING_BACKENDS:
+            raise ConfigurationError(
+                f"coupling_backend must be one of {self.COUPLING_BACKENDS}, got {self.coupling_backend!r}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -136,7 +168,14 @@ class MSROPMConfig:
 
     @property
     def frequency_detuning_rate_std(self) -> float:
-        """Standard deviation of the per-oscillator detuning in radians/second."""
+        """Standard deviation of the per-oscillator detuning in radians/second.
+
+        This is the rad/s conversion of the *relative* knob
+        :attr:`frequency_detuning_std`:
+        ``frequency_detuning_rate_std == frequency_detuning_std * 2 * pi *
+        oscillator_frequency``.  The machine draws its static per-oscillator
+        mismatch with this standard deviation.
+        """
         return self.frequency_detuning_std * self.angular_frequency
 
     @property

@@ -1,0 +1,196 @@
+"""Replica execution engines: how ``MSROPM.solve`` runs its iterations.
+
+The paper's headline numbers come from 40 independent iterations per problem.
+Those iterations share everything except their random streams, which makes
+them replicas of one stochastic process — and replicas can be advanced
+together.  This module is the seam between the machine and that choice:
+
+* :class:`SequentialEngine` runs one iteration at a time through
+  :meth:`repro.core.machine.MSROPM.run_iteration` — the original behaviour,
+  and the reference the batched path is tested against.
+* :class:`BatchedEngine` (the default) stacks all R iterations into one
+  ``(R, N)`` phase array and advances every replica with a single sparse or
+  dense product per integrator step.  Per-replica seeded RNG streams
+  (:class:`repro.rng.ReplicaRNG`) keep results bit-identical to the
+  sequential path for the same seeds on the sparse backend, and numerically
+  equivalent on the dense backend.
+
+Engines are selected by name via ``MSROPMConfig.engine`` (or per call via
+``MSROPM.solve(engine=...)``); the batched engine additionally chooses its
+coupling representation — CSR for sparse graphs, group-masked GEMMs for dense
+ones — from the problem's edge density unless pinned by
+``MSROPMConfig.coupling_backend``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.core.config import MSROPMConfig
+from repro.core.metrics import coloring_accuracy
+from repro.core.results import IterationResult, StageResult
+from repro.core.stages import StageExecutor
+from repro.dynamics.noise import perturbed_phases, random_initial_phases
+from repro.graphs.graph import Graph
+from repro.rng import ReplicaRNG, make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.machine import MSROPM
+
+#: Graphs below this node count always use the sparse backend (the dense
+#: GEMM path only pays off at scale, and small problems keep the
+#: bit-identical sparse arithmetic).
+DENSE_MIN_NODES = 32
+
+#: Edge density (2E / N(N-1)) at or above which ``auto`` picks the dense backend.
+DENSE_DENSITY_THRESHOLD = 0.5
+
+
+def resolve_coupling_backend(backend: str, graph: Graph) -> str:
+    """Resolve an ``auto`` coupling backend to ``sparse`` or ``dense``.
+
+    ``auto`` picks dense only for graphs that are both large enough for GEMMs
+    to beat CSR indirection and dense enough that the adjacency structure
+    carries no useful sparsity.  All of the paper's King's graphs (density
+    <= 0.24) resolve to sparse.
+    """
+    if backend in ("sparse", "dense"):
+        return backend
+    if backend != "auto":
+        raise ConfigurationError(
+            f"coupling_backend must be one of {MSROPMConfig.COUPLING_BACKENDS}, got {backend!r}"
+        )
+    num_nodes = graph.num_nodes
+    if num_nodes < DENSE_MIN_NODES:
+        return "sparse"
+    density = 2.0 * graph.num_edges / (num_nodes * (num_nodes - 1))
+    return "dense" if density >= DENSE_DENSITY_THRESHOLD else "sparse"
+
+
+class SolverEngine(ABC):
+    """Strategy for executing the independent iterations of one solve."""
+
+    #: Engine name as selected by ``MSROPMConfig.engine``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(self, machine: "MSROPM", seeds: Sequence[Optional[int]]) -> List[IterationResult]:
+        """Run ``len(seeds)`` iterations of ``machine`` and return their results.
+
+        ``seeds[i]`` seeds iteration ``i``; results are returned in iteration
+        order, exactly as ``MSROPM.solve`` aggregated them historically.
+        """
+
+
+class SequentialEngine(SolverEngine):
+    """Runs iterations one at a time (the original interpreter loop)."""
+
+    name = "sequential"
+
+    def run(self, machine: "MSROPM", seeds: Sequence[Optional[int]]) -> List[IterationResult]:
+        return [
+            machine.run_iteration(iteration_index=index, seed=seed)
+            for index, seed in enumerate(seeds)
+        ]
+
+
+class BatchedEngine(SolverEngine):
+    """Advances all iterations as one ``(R, N)`` vectorized integration.
+
+    Parameters
+    ----------
+    coupling_backend:
+        ``"sparse"``, ``"dense"``, or ``"auto"``; ``None`` (default) defers to
+        the machine's ``MSROPMConfig.coupling_backend``.
+    """
+
+    name = "batched"
+
+    def __init__(self, coupling_backend: Optional[str] = None) -> None:
+        if coupling_backend is not None and coupling_backend not in MSROPMConfig.COUPLING_BACKENDS:
+            raise ConfigurationError(
+                f"coupling_backend must be one of {MSROPMConfig.COUPLING_BACKENDS}, "
+                f"got {coupling_backend!r}"
+            )
+        self.coupling_backend = coupling_backend
+
+    def run(self, machine: "MSROPM", seeds: Sequence[Optional[int]]) -> List[IterationResult]:
+        config = machine.config
+        num_replicas = len(seeds)
+        num = machine.num_oscillators
+        backend = resolve_coupling_backend(
+            self.coupling_backend or config.coupling_backend, machine.graph
+        )
+        rng = ReplicaRNG([make_rng(seed) for seed in seeds])
+        executor = StageExecutor(
+            config=config,
+            edge_index=machine._edge_index,
+            num_oscillators=num,
+            frequency_detuning=machine._frequency_detuning,
+            coupling_backend=backend,
+        )
+
+        phases = random_initial_phases(num, rng)  # (R, N)
+        group_values = np.zeros((num_replicas, num), dtype=int)
+        stage_records: List[List[StageResult]] = [[] for _ in range(num_replicas)]
+        time = 0.0
+
+        for stage_index in range(1, config.num_stages + 1):
+            if stage_index > 1:
+                # Compute-in-memory hand-off, exactly as in the sequential path.
+                phases = perturbed_phases(phases, config.stage2_reinit_jitter, rng)
+            phases, bits, _ = executor.run_stage(
+                stage_index, phases, group_values, rng, start_time=time
+            )
+            time += (
+                config.timing.initialization
+                + config.timing.annealing
+                + config.timing.shil_settling
+            )
+            for replica in range(num_replicas):
+                stage_records[replica].append(
+                    machine._score_stage(stage_index, bits[replica], group_values[replica])
+                )
+            group_values = group_values + bits * (2 ** (stage_index - 1))
+
+        results: List[IterationResult] = []
+        for replica in range(num_replicas):
+            stage_results = stage_records[replica]
+            if stage_results:
+                stage_results[-1].final_phases = np.array(phases[replica], dtype=float)
+            coloring = machine._decode_coloring(group_values[replica])
+            seed = seeds[replica]
+            results.append(
+                IterationResult(
+                    iteration_index=replica,
+                    seed=int(seed) if seed is not None else -1,
+                    coloring=coloring,
+                    accuracy=coloring_accuracy(machine.graph, coloring),
+                    stage_results=stage_results,
+                    run_time=config.total_run_time,
+                )
+            )
+        return results
+
+
+def get_engine(engine: Union[str, SolverEngine, None]) -> SolverEngine:
+    """Resolve an engine selection (name, instance, or ``None``) to an engine.
+
+    ``None`` maps to the default :class:`BatchedEngine`; strings must be one
+    of ``MSROPMConfig.ENGINE_NAMES``.
+    """
+    if engine is None:
+        return BatchedEngine()
+    if isinstance(engine, SolverEngine):
+        return engine
+    if engine == SequentialEngine.name:
+        return SequentialEngine()
+    if engine == BatchedEngine.name:
+        return BatchedEngine()
+    raise ConfigurationError(
+        f"engine must be one of {MSROPMConfig.ENGINE_NAMES} or a SolverEngine, got {engine!r}"
+    )

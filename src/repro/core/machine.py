@@ -35,6 +35,7 @@ from repro.exceptions import ConfigurationError, MappingError
 from repro.circuit.netlist import FabricNetlist
 from repro.circuit.power import PowerModel
 from repro.core.config import MSROPMConfig
+from repro.core.engine import SolverEngine, get_engine
 from repro.core.mapping import ProblemMapping, identity_mapping
 from repro.core.metrics import coloring_accuracy, maxcut_accuracy
 from repro.core.results import IterationResult, SolveResult, StageResult
@@ -96,7 +97,11 @@ class MSROPM:
             else self._default_stage1_reference()
         )
         # Static per-oscillator frequency mismatch (process variation): drawn
-        # once per machine instance, like silicon, and reused by every iteration.
+        # once per machine instance, like silicon, and reused by every
+        # iteration.  config.frequency_detuning_std is the *relative* fraction
+        # of the oscillator frequency; the dynamics need rad/s, so the draw
+        # uses its converted form frequency_detuning_rate_std
+        # (= frequency_detuning_std * 2*pi*f).
         if self.config.frequency_detuning_std > 0:
             mismatch_rng = make_rng(self.config.seed)
             self._frequency_detuning = mismatch_rng.normal(
@@ -182,16 +187,30 @@ class MSROPM:
             trajectory=trajectory,
         )
 
-    def solve(self, iterations: int = 40, seed: Optional[int] = None) -> SolveResult:
-        """Run ``iterations`` independent runs (the paper uses 40) and aggregate them."""
+    def solve(
+        self,
+        iterations: int = 40,
+        seed: Optional[int] = None,
+        engine: Optional[object] = None,
+    ) -> SolveResult:
+        """Run ``iterations`` independent runs (the paper uses 40) and aggregate them.
+
+        The iterations are executed by a replica engine: the default batched
+        engine advances all of them as one vectorized integration, while the
+        sequential engine replays the original one-at-a-time loop.  On the
+        sparse coupling backend (auto-selected for every graph the paper
+        uses) the two produce bit-identical results for the same seeds; the
+        dense backend is numerically equivalent but may differ in the last
+        floating-point ulp.  The engine comes from ``config.engine`` unless
+        overridden here with an engine name (``"sequential"``/``"batched"``)
+        or a :class:`repro.core.engine.SolverEngine` instance.
+        """
         if iterations < 1:
             raise ConfigurationError(f"iterations must be at least 1, got {iterations}")
         base_seed = seed if seed is not None else self.config.seed
         seeds = iteration_seeds(base_seed, iterations)
-        results = [
-            self.run_iteration(iteration_index=index, seed=seeds[index])
-            for index in range(iterations)
-        ]
+        solver_engine = get_engine(engine if engine is not None else self.config.engine)
+        results = solver_engine.run(self, seeds)
         return SolveResult(graph=self.graph, num_colors=self.config.num_colors, iterations=results)
 
     # ------------------------------------------------------------------

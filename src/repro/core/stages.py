@@ -26,6 +26,13 @@ from scipy import sparse
 
 from repro.exceptions import SimulationError, StageError
 from repro.core.config import MSROPMConfig
+from repro.dynamics.batched import (
+    BatchedOscillatorModel,
+    BlockDiagonalCoupling,
+    CouplingOperator,
+    GroupMaskedDenseCoupling,
+    SharedCoupling,
+)
 from repro.dynamics.integrators import Trajectory, integrate_euler_maruyama
 from repro.dynamics.kuramoto import CoupledOscillatorModel
 from repro.rng import SeedLike, make_rng
@@ -39,6 +46,9 @@ def group_offsets(group_values: np.ndarray, stage_index: int) -> np.ndarray:
     offset by ``v * 2*pi / 2**stage_index``; stage 1 therefore uses offset 0
     everywhere (SHIL 1) and stage 2 uses 0 or pi/2 (SHIL 1 / SHIL 2), exactly
     the paper's phase-shifted SHIL pair.
+
+    ``group_values`` may be ``(N,)`` or a batched ``(R, N)`` array; the
+    offsets keep the same shape.
     """
     if stage_index < 1:
         raise StageError(f"stage_index must be >= 1, got {stage_index}")
@@ -107,7 +117,15 @@ class StageExecutor:
     frequency_detuning:
         Optional per-oscillator free-running frequency offsets (radians/second)
         modelling static process variation; applied during the annealing and
-        SHIL intervals of every stage.
+        SHIL intervals of every stage.  Note these are rad/s rates (drawn with
+        standard deviation ``config.frequency_detuning_rate_std``), not the
+        relative ``config.frequency_detuning_std`` fraction.
+    coupling_backend:
+        Coupling representation for *batched* stage runs: ``"sparse"``
+        (shared CSR / block-diagonal CSR, bit-identical to the sequential
+        path) or ``"dense"`` (group-masked GEMMs, numerically equivalent).
+        ``"auto"`` must be resolved by the caller (the engine) before the
+        executor runs.
     """
 
     config: MSROPMConfig
@@ -115,6 +133,7 @@ class StageExecutor:
     num_oscillators: int
     collect_trajectory: bool = False
     frequency_detuning: Optional[np.ndarray] = None
+    coupling_backend: str = "sparse"
 
     def run_stage(
         self,
@@ -126,9 +145,16 @@ class StageExecutor:
     ) -> Tuple[np.ndarray, np.ndarray, Optional[Trajectory]]:
         """Execute stage ``stage_index`` starting from ``phases``.
 
-        Returns ``(final_phases, stage_bits, trajectory_or_None)`` where
-        ``stage_bits`` is the per-oscillator binary read-out of this stage.
+        ``phases`` is either a flat ``(N,)`` vector (one run) or a batched
+        ``(R, N)`` array of R replicas, with ``group_values`` of matching
+        shape; batched runs execute every replica in one vectorized
+        integration.  Returns ``(final_phases, stage_bits, trajectory_or_None)``
+        where ``stage_bits`` is the per-oscillator binary read-out of this
+        stage, shaped like ``phases``.
         """
+        phases = np.asarray(phases, dtype=float)
+        if phases.ndim == 2:
+            return self._run_batched_stage(stage_index, phases, group_values, rng, start_time)
         config = self.config
         timing = config.timing
         rng = make_rng(rng)
@@ -192,6 +218,159 @@ class StageExecutor:
         # ------------------------------------------------------------ SHIL lock
         lock_model = CoupledOscillatorModel(
             coupling_matrix=coupling,
+            shil_strength=config.shil_rate,
+            shil_offset=offsets,
+            shil_order=2,
+            frequency_detuning=self.frequency_detuning,
+            shil_ramp=config.annealing_policy.shil_ramp(time, timing.shil_settling),
+        )
+        segment = integrate_euler_maruyama(
+            lock_model,
+            phases,
+            timing.shil_settling,
+            config.time_step,
+            noise_amplitude=diffusion,
+            seed=rng,
+            start_time=time,
+            record_every=record_every,
+        )
+        trajectory = trajectory.concatenate(segment)
+        phases = segment.final_phases
+
+        bits = binarize_against_offsets(phases, offsets)
+        return phases, bits, (trajectory if self.collect_trajectory else None)
+
+    # ------------------------------------------------------------------
+    # Batched (replica-parallel) execution
+    # ------------------------------------------------------------------
+    def _dense_base_matrix(self) -> np.ndarray:
+        """The fabric's ungated dense coupling-rate matrix (built lazily once)."""
+        base = getattr(self, "_dense_base", None)
+        if base is None:
+            num = self.num_oscillators
+            base = np.zeros((num, num), dtype=float)
+            if self.edge_index.size:
+                rows = self.edge_index[:, 0]
+                cols = self.edge_index[:, 1]
+                base[rows, cols] = self.config.coupling_rate
+                base[cols, rows] = self.config.coupling_rate
+            self._dense_base = base
+        return base
+
+    def _batched_coupling(self, group_values: np.ndarray) -> CouplingOperator:
+        """Build the coupling operator for one batched stage.
+
+        Sparse backend: one shared CSR matrix when every replica agrees on the
+        grouping (always true in stage 1), otherwise per-replica gated blocks
+        on a block-diagonal CSR — both bit-identical to the sequential matvec.
+        Dense backend: the shared dense base with per-replica group masking.
+        """
+        if self.coupling_backend == "dense":
+            return GroupMaskedDenseCoupling(self._dense_base_matrix(), group_values)
+        if self.coupling_backend != "sparse":
+            raise StageError(
+                f"coupling_backend must be resolved to 'sparse' or 'dense' before "
+                f"stage execution, got {self.coupling_backend!r}"
+            )
+        rate = self.config.coupling_rate
+        if np.all(group_values == group_values[0]):
+            return SharedCoupling(
+                partition_coupling_matrix(
+                    self.edge_index, group_values[0], self.num_oscillators, rate
+                )
+            )
+        blocks = [
+            partition_coupling_matrix(self.edge_index, row, self.num_oscillators, rate)
+            for row in group_values
+        ]
+        return BlockDiagonalCoupling(blocks)
+
+    def _run_batched_stage(
+        self,
+        stage_index: int,
+        phases: np.ndarray,
+        group_values: np.ndarray,
+        rng,
+        start_time: float,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[Trajectory]]:
+        """Vectorized mirror of the sequential stage body for ``(R, N)`` phases.
+
+        The three intervals are identical to the sequential path; the replica
+        axis rides through the integrators, and randomness comes from the
+        caller's :class:`repro.rng.ReplicaRNG` so each replica's stream is
+        consumed exactly as its sequential run would consume it.
+        """
+        config = self.config
+        timing = config.timing
+        rng = make_rng(rng)
+        record_every = 1 if self.collect_trajectory else config.record_every
+        diffusion = config.phase_noise_diffusion
+        trajectory: Optional[Trajectory] = None
+        time = start_time
+
+        group_values = np.asarray(group_values, dtype=int)
+        if group_values.shape != phases.shape:
+            raise StageError(
+                f"batched group_values shape {group_values.shape} must match "
+                f"phases shape {phases.shape}"
+            )
+        coupling = self._batched_coupling(group_values)
+        offsets = group_offsets(group_values, stage_index)
+
+        # ------------------------------------------------------- initialization
+        if self.collect_trajectory:
+            free_model = BatchedOscillatorModel(
+                coupling=SharedCoupling(
+                    sparse.csr_matrix((self.num_oscillators, self.num_oscillators))
+                ),
+                num_oscillators=self.num_oscillators,
+            )
+            segment = integrate_euler_maruyama(
+                free_model,
+                phases,
+                timing.initialization,
+                config.time_step,
+                noise_amplitude=diffusion,
+                seed=rng,
+                start_time=time,
+                record_every=record_every,
+            )
+            trajectory = segment
+            phases = segment.final_phases
+        else:
+            # Couplings and SHIL are off, so the interval is a pure phase
+            # diffusion; apply the equivalent Gaussian walk directly.
+            std = np.sqrt(2.0 * diffusion * timing.initialization)
+            if std > 0:
+                phases = phases + rng.normal(0.0, std, size=phases.shape)
+        time += timing.initialization
+
+        # ------------------------------------------------------------ annealing
+        anneal_model = BatchedOscillatorModel(
+            coupling=coupling,
+            num_oscillators=self.num_oscillators,
+            shil_strength=0.0,
+            frequency_detuning=self.frequency_detuning,
+            coupling_ramp=config.annealing_policy.coupling_ramp(time, timing.annealing),
+        )
+        segment = integrate_euler_maruyama(
+            anneal_model,
+            phases,
+            timing.annealing,
+            config.time_step,
+            noise_amplitude=diffusion,
+            seed=rng,
+            start_time=time,
+            record_every=record_every,
+        )
+        trajectory = segment if trajectory is None else trajectory.concatenate(segment)
+        phases = segment.final_phases
+        time += timing.annealing
+
+        # ------------------------------------------------------------ SHIL lock
+        lock_model = BatchedOscillatorModel(
+            coupling=coupling,
+            num_oscillators=self.num_oscillators,
             shil_strength=config.shil_rate,
             shil_offset=offsets,
             shil_order=2,

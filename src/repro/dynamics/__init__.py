@@ -6,6 +6,13 @@ from repro.dynamics.integrators import (
     integrate_rk4,
     integrate_scipy,
 )
+from repro.dynamics.batched import (
+    BatchedOscillatorModel,
+    BlockDiagonalCoupling,
+    CouplingOperator,
+    GroupMaskedDenseCoupling,
+    SharedCoupling,
+)
 from repro.dynamics.kuramoto import CoupledOscillatorModel, uniform_coupling_matrix
 from repro.dynamics.noise import PhaseNoiseModel, perturbed_phases, random_initial_phases
 from repro.dynamics.schedules import (
@@ -29,6 +36,11 @@ __all__ = [
     "integrate_euler_maruyama",
     "integrate_scipy",
     "CoupledOscillatorModel",
+    "BatchedOscillatorModel",
+    "CouplingOperator",
+    "SharedCoupling",
+    "BlockDiagonalCoupling",
+    "GroupMaskedDenseCoupling",
     "uniform_coupling_matrix",
     "PhaseNoiseModel",
     "random_initial_phases",

@@ -11,8 +11,11 @@ Three integration backends are provided:
   fixed-step integrators).
 
 All integrators operate on a right-hand-side callback ``f(t, theta) -> dtheta/dt``
-over a flat phase vector and return the full trajectory so the waveform and
-energy-tracking utilities can inspect intermediate states.
+and return the full trajectory so the waveform and energy-tracking utilities
+can inspect intermediate states.  The fixed-step integrators are shape
+agnostic: ``theta`` may be a flat ``(N,)`` phase vector or a batched ``(R, N)``
+array of R replicas advanced in lock-step (the batched engine's hot path);
+only :func:`integrate_scipy` is restricted to flat vectors by ``solve_ivp``.
 """
 
 from __future__ import annotations
@@ -24,9 +27,13 @@ import numpy as np
 from scipy.integrate import solve_ivp
 
 from repro.exceptions import SimulationError
-from repro.rng import SeedLike, make_rng
+from repro.rng import SeedLike, make_rng, normal_noise_block
 
 RHS = Callable[[float, np.ndarray], np.ndarray]
+
+#: Target element count of one prefetched noise block (bounds peak memory of
+#: the Euler-Maruyama noise buffer to ~16 MB regardless of batch size).
+_NOISE_BLOCK_ELEMENTS = 2_000_000
 
 
 @dataclass
@@ -38,7 +45,8 @@ class Trajectory:
     times:
         1-D array of time points (seconds), including the initial time.
     phases:
-        Array of shape ``(len(times), num_oscillators)``.
+        Array of shape ``(len(times), num_oscillators)`` for a single run, or
+        ``(len(times), num_replicas, num_oscillators)`` for a batched run.
     """
 
     times: np.ndarray
@@ -47,7 +55,7 @@ class Trajectory:
     def __post_init__(self) -> None:
         self.times = np.asarray(self.times, dtype=float)
         self.phases = np.asarray(self.phases, dtype=float)
-        if self.phases.ndim != 2 or self.phases.shape[0] != self.times.shape[0]:
+        if self.phases.ndim not in (2, 3) or self.phases.shape[0] != self.times.shape[0]:
             raise SimulationError(
                 f"phases shape {self.phases.shape} inconsistent with {self.times.shape[0]} time points"
             )
@@ -74,7 +82,7 @@ class Trajectory:
 
     def concatenate(self, other: "Trajectory") -> "Trajectory":
         """Append ``other`` (whose first sample duplicates this trajectory's last)."""
-        if other.phases.shape[1] != self.phases.shape[1]:
+        if other.phases.shape[1:] != self.phases.shape[1:]:
             raise SimulationError("cannot concatenate trajectories of different sizes")
         return Trajectory(
             times=np.concatenate([self.times, other.times[1:]]),
@@ -104,7 +112,9 @@ def integrate_rk4(
     """Fixed-step classical RK4 integration of ``d theta/dt = rhs(t, theta)``.
 
     ``record_every`` thins the stored trajectory (the final state is always
-    recorded) to keep memory bounded on long waveform runs.
+    recorded) to keep memory bounded on long waveform runs.  ``initial_phases``
+    may be a flat ``(N,)`` vector or a batched ``(R, N)`` array, provided
+    ``rhs`` handles the same shape.
     """
     if record_every < 1:
         raise SimulationError(f"record_every must be >= 1, got {record_every}")
@@ -142,6 +152,12 @@ def integrate_euler_maruyama(
     ``noise_amplitude`` is the diffusion coefficient ``D`` (rad^2/s); each step
     adds a Gaussian increment of standard deviation ``sqrt(2 * D * dt)`` to
     every phase, modelling oscillator jitter during free-running intervals.
+
+    ``initial_phases`` may be a flat ``(N,)`` vector or a batched ``(R, N)``
+    array; in the batched case ``seed`` is typically a
+    :class:`repro.rng.ReplicaRNG` so every replica consumes its own stream.
+    Noise is prefetched in blocks of whole steps — numpy's chunked draws are
+    bit-identical to per-step draws, so results do not depend on the blocking.
     """
     if record_every < 1:
         raise SimulationError(f"record_every must be >= 1, got {record_every}")
@@ -154,12 +170,19 @@ def integrate_euler_maruyama(
     times = [start_time]
     states = [theta.copy()]
     noise_scale = np.sqrt(2.0 * noise_amplitude * step)
+    block_steps = min(num_steps, max(1, _NOISE_BLOCK_ELEMENTS // max(1, theta.size)))
+    noise_block: Optional[np.ndarray] = None
     time = start_time
     for index in range(num_steps):
         drift = rhs(time, theta)
         theta = theta + step * drift
         if noise_scale > 0:
-            theta = theta + noise_scale * rng.standard_normal(theta.shape)
+            offset = index % block_steps
+            if offset == 0:
+                noise_block = normal_noise_block(
+                    rng, min(block_steps, num_steps - index), theta.shape
+                )
+            theta = theta + noise_scale * noise_block[offset]
         time = start_time + (index + 1) * step
         if (index + 1) % record_every == 0 or index == num_steps - 1:
             times.append(time)

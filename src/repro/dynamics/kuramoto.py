@@ -122,10 +122,19 @@ class CoupledOscillatorModel:
 
         Computed without forming the dense phase-difference matrix:
         ``sin(a - b) = sin(a) cos(b) - cos(a) sin(b)`` lets the sum factor into
-        two sparse matrix-vector products.
+        two sparse matrix-vector products.  ``phases`` may be ``(N,)`` or a
+        batch ``(R, N)``; the batched form multiplies all replicas through the
+        shared matrix at once, and each replica column accumulates in the same
+        order as the single-vector product, so per-replica results are
+        bit-identical to R separate evaluations.
         """
         sin_theta = np.sin(phases)
         cos_theta = np.cos(phases)
+        if phases.ndim == 2:
+            return (
+                sin_theta * (self._coupling @ cos_theta.T).T
+                - cos_theta * (self._coupling @ sin_theta.T).T
+            )
         return sin_theta * (self._coupling @ cos_theta) - cos_theta * (self._coupling @ sin_theta)
 
     def shil_term(self, phases: np.ndarray) -> np.ndarray:
@@ -133,9 +142,9 @@ class CoupledOscillatorModel:
         return -self._shil_strength * np.sin(self.shil_order * (phases - self._shil_offset))
 
     def __call__(self, time: float, phases: np.ndarray) -> np.ndarray:
-        """Evaluate ``d theta / dt`` at ``time`` for the phase vector ``phases``."""
+        """Evaluate ``d theta / dt`` for ``(N,)`` or batched ``(R, N)`` phases."""
         phases = np.asarray(phases, dtype=float)
-        if phases.shape != (self._num,):
+        if phases.ndim not in (1, 2) or phases.shape[-1] != self._num:
             raise SimulationError(f"expected {self._num} phases, got shape {phases.shape}")
         coupling_scale = self.coupling_ramp(time) if self.coupling_ramp is not None else 1.0
         shil_scale = self.shil_ramp(time) if self.shil_ramp is not None else 1.0

@@ -61,6 +61,10 @@ def random_initial_phases(num_oscillators: int, seed: SeedLike = None) -> np.nda
 
     Models the random start-up instants of the ROSCs: by the time the
     couplings are enabled, the phases are decorrelated and uniformly spread.
+
+    With a plain seed or generator the result is ``(num_oscillators,)``; with
+    a :class:`repro.rng.ReplicaRNG` of R replicas it is ``(R, num_oscillators)``,
+    each row drawn from that replica's own stream.
     """
     if num_oscillators < 0:
         raise SimulationError("num_oscillators must be non-negative")
@@ -74,6 +78,10 @@ def perturbed_phases(phases: np.ndarray, amplitude: float, seed: SeedLike = None
     Used between the two MSROPM stages: the oscillators keep their stage-1
     phases (compute-in-memory) but accumulate a small amount of jitter during
     the re-initialization interval before the second annealing begins.
+
+    ``phases`` may be ``(N,)`` or a batched ``(R, N)`` array; pass a
+    :class:`repro.rng.ReplicaRNG` in the batched case so each replica row
+    perturbs from its own stream.
     """
     if amplitude < 0:
         raise SimulationError(f"amplitude must be non-negative, got {amplitude}")

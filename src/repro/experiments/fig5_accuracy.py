@@ -72,9 +72,16 @@ def run_figure5(
     scale: float = 1.0,
     config: Optional[MSROPMConfig] = None,
     seed: int = 2025,
+    engine: Optional[str] = None,
 ) -> Figure5Result:
-    """Run the Figure 5 experiment (optionally scaled down) and collect the data."""
+    """Run the Figure 5 experiment (optionally scaled down) and collect the data.
+
+    ``engine`` selects the replica engine for the per-problem solves
+    (``None`` keeps the config's engine, batched by default).
+    """
     config = config or default_config(seed)
+    if engine is not None:
+        config = config.with_updates(engine=engine)
     iterations = iterations if iterations is not None else scaled_iterations(scale)
     result = Figure5Result()
     for requested_size in sizes:

@@ -70,9 +70,16 @@ def scaled_problem(num_nodes: int, scale: float = 1.0) -> BenchmarkProblem:
     return BenchmarkProblem(num_nodes=side * side, rows=side, cols=side, graph=kings_graph(side, side))
 
 
-def default_config(seed: Optional[int] = 2025) -> MSROPMConfig:
-    """The configuration used by all paper-reproduction experiments."""
-    return MSROPMConfig(num_colors=4, seed=seed)
+def default_config(seed: Optional[int] = 2025, engine: Optional[str] = None) -> MSROPMConfig:
+    """The configuration used by all paper-reproduction experiments.
+
+    ``engine`` selects the replica execution engine (``"sequential"`` or
+    ``"batched"``); ``None`` keeps the library default (batched).
+    """
+    config = MSROPMConfig(num_colors=4, seed=seed)
+    if engine is not None:
+        config = config.with_updates(engine=engine)
+    return config
 
 
 def scaled_iterations(scale: float = 1.0) -> int:

@@ -97,9 +97,16 @@ def run_table1(
     config: Optional[MSROPMConfig] = None,
     power_model: Optional[PowerModel] = None,
     seed: int = 2025,
+    engine: Optional[str] = None,
 ) -> Table1Result:
-    """Run the Table 1 experiment (optionally scaled) and collect the rows."""
+    """Run the Table 1 experiment (optionally scaled) and collect the rows.
+
+    ``engine`` selects the replica engine for the 40-iteration solves
+    (``None`` keeps the config's engine, batched by default).
+    """
     config = config or default_config(seed)
+    if engine is not None:
+        config = config.with_updates(engine=engine)
     power_model = power_model or PowerModel()
     iterations = iterations if iterations is not None else scaled_iterations(scale)
     result = Table1Result()

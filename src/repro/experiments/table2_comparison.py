@@ -53,6 +53,7 @@ def run_table2(
     config: Optional[MSROPMConfig] = None,
     power_model: Optional[PowerModel] = None,
     seed: int = 2025,
+    engine: Optional[str] = None,
 ) -> Table2Result:
     """Measure the re-implemented rows of Table 2 and assemble the comparison.
 
@@ -62,6 +63,10 @@ def run_table2(
     accuracy comparison, not for scale records).
     """
     config = config or default_config(seed)
+    if engine is not None:
+        # The MSROPM row honours the engine selection; the single-stage
+        # baselines keep their own iteration loops.
+        config = config.with_updates(engine=engine)
     power_model = power_model or PowerModel()
     iterations = iterations if iterations is not None else scaled_iterations(scale)
 

@@ -8,21 +8,118 @@ reproducible while independent iterations still receive decorrelated streams.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence, "ReplicaRNG"]
 
 
-def make_rng(seed: SeedLike = None) -> np.random.Generator:
+class ReplicaRNG:
+    """A bundle of per-replica generators with a batched draw interface.
+
+    Batched (replica-parallel) runs need randomness that is *bit-identical* to
+    running each replica sequentially with its own seed.  ``ReplicaRNG`` holds
+    one :class:`numpy.random.Generator` per replica and serves draws of shape
+    ``(R, ...)`` by stacking one ``(...)`` draw from each replica's generator,
+    so every replica consumes its stream in exactly the order a sequential run
+    with that replica's generator would.
+
+    The object quacks like a generator for the draw methods the solver uses
+    (``standard_normal``, ``normal``, ``uniform``), which lets the noise
+    helpers and integrators stay agnostic of whether they drive one replica or
+    a batch.
+    """
+
+    def __init__(self, generators: Sequence[np.random.Generator]) -> None:
+        generators = list(generators)
+        if not generators:
+            raise ValueError("ReplicaRNG needs at least one generator")
+        for generator in generators:
+            if not isinstance(generator, np.random.Generator):
+                raise TypeError(f"expected numpy Generators, got {type(generator)!r}")
+        self.generators = generators
+
+    @classmethod
+    def from_seeds(cls, seeds: Sequence[SeedLike]) -> "ReplicaRNG":
+        """Build one generator per seed (the per-iteration seeds of a solve)."""
+        return cls([make_rng(seed) for seed in seeds])
+
+    @property
+    def num_replicas(self) -> int:
+        """Number of independent replica streams."""
+        return len(self.generators)
+
+    def _replica_shape(self, size) -> Tuple[int, ...]:
+        """Normalize a requested ``size`` into the per-replica draw shape."""
+        if size is None:
+            return ()
+        if np.ndim(size) == 0:
+            return (int(size),)
+        size = tuple(int(value) for value in size)
+        if not size or size[0] != self.num_replicas:
+            raise ValueError(
+                f"batched draws must have a leading replica axis of {self.num_replicas}, got size {size}"
+            )
+        return size[1:]
+
+    def standard_normal(self, size=None) -> np.ndarray:
+        """Stacked per-replica ``standard_normal`` draws of shape ``(R, ...)``."""
+        shape = self._replica_shape(size)
+        return np.stack([generator.standard_normal(shape) for generator in self.generators])
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None) -> np.ndarray:
+        """Stacked per-replica ``normal`` draws of shape ``(R, ...)``."""
+        shape = self._replica_shape(size)
+        return np.stack([generator.normal(loc, scale, size=shape) for generator in self.generators])
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None) -> np.ndarray:
+        """Stacked per-replica ``uniform`` draws of shape ``(R, ...)``."""
+        shape = self._replica_shape(size)
+        return np.stack([generator.uniform(low, high, size=shape) for generator in self.generators])
+
+    def noise_block(self, num_steps: int, shape: Tuple[int, ...]) -> np.ndarray:
+        """Standard-normal noise for ``num_steps`` integrator steps at once.
+
+        ``shape`` is the batched state shape ``(R, N)``; the result has shape
+        ``(num_steps, R, N)``.  Each replica's block is drawn in one chunked
+        ``standard_normal`` call, which numpy guarantees to consume the stream
+        exactly like ``num_steps`` successive ``(N,)`` draws.
+        """
+        if num_steps < 1:
+            raise ValueError(f"num_steps must be >= 1, got {num_steps}")
+        per_replica = self._replica_shape(shape)
+        # Draw straight into one (R, num_steps, N) buffer — each replica's
+        # slice is contiguous, so the generator fills it like a chunked draw —
+        # then hand back a transposed *view*; no transposed copy is ever made.
+        block = np.empty((self.num_replicas, num_steps) + per_replica, dtype=float)
+        for replica, generator in enumerate(self.generators):
+            generator.standard_normal(out=block[replica])
+        return block.swapaxes(0, 1)
+
+
+def normal_noise_block(rng: SeedLike, num_steps: int, shape: Tuple[int, ...]) -> np.ndarray:
+    """Draw ``(num_steps,) + shape`` standard-normal noise from ``rng``.
+
+    For a plain generator this is one chunked draw (bit-identical to
+    ``num_steps`` successive ``shape`` draws); for a :class:`ReplicaRNG` the
+    block is assembled from the per-replica streams.
+    """
+    if isinstance(rng, ReplicaRNG):
+        return rng.noise_block(num_steps, shape)
+    return make_rng(rng).standard_normal((num_steps,) + tuple(shape))
+
+
+def make_rng(seed: SeedLike = None) -> Union[np.random.Generator, "ReplicaRNG"]:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     ``seed`` may be ``None`` (non-deterministic), an integer, a
     :class:`numpy.random.SeedSequence`, or an existing generator (returned
-    unchanged so callers can thread one generator through a pipeline).
+    unchanged so callers can thread one generator through a pipeline).  A
+    :class:`ReplicaRNG` is likewise returned unchanged so batched pipelines
+    can thread their replica streams through the same code paths.
     """
-    if isinstance(seed, np.random.Generator):
+    if isinstance(seed, (np.random.Generator, ReplicaRNG)):
         return seed
     if isinstance(seed, np.random.SeedSequence):
         return np.random.default_rng(seed)

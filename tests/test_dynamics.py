@@ -11,7 +11,11 @@ from repro.exceptions import SimulationError
 from repro.circuit import paper_rosc
 from repro.dynamics import (
     AnnealingPolicy,
+    BatchedOscillatorModel,
+    BlockDiagonalCoupling,
     CoupledOscillatorModel,
+    GroupMaskedDenseCoupling,
+    SharedCoupling,
     EnergyTrace,
     PhaseNoiseModel,
     Trajectory,
@@ -29,6 +33,7 @@ from repro.dynamics import (
     uniform_coupling_matrix,
 )
 from repro.graphs import cycle_graph, kings_graph
+from repro.rng import ReplicaRNG, make_rng
 
 
 def two_oscillator_model(rate=1e9, shil_strength=0.0, shil_offset=0.0, order=2):
@@ -203,6 +208,148 @@ class TestCoupledOscillatorModel:
             model(0.0, np.zeros(3))
         with pytest.raises(SimulationError):
             uniform_coupling_matrix(np.eye(2), -1.0)
+
+
+class TestBatchedDynamics:
+    """Shape and equivalence properties of the (R, N) batched code paths."""
+
+    def test_model_accepts_flat_and_batched_phases(self):
+        model = two_oscillator_model(rate=5e8)
+        flat = model(0.0, np.array([0.3, 1.1]))
+        assert flat.shape == (2,)
+        batch = np.array([[0.3, 1.1], [1.0, 0.2], [2.0, 2.5]])
+        batched = model(0.0, batch)
+        assert batched.shape == (3, 2)
+        # Each batched row is bit-identical to the flat evaluation.
+        for row, phases in zip(batched, batch):
+            assert np.array_equal(row, model(0.0, phases))
+        with pytest.raises(SimulationError):
+            model(0.0, np.zeros((3, 3)))
+
+    def test_rk4_batched_rows_match_individual_runs(self):
+        model = two_oscillator_model(rate=5e8)
+        batch = np.array([[0.3, 1.1], [1.9, 0.4]])
+        together = integrate_rk4(model, batch, duration=2e-9, dt=2e-11)
+        assert together.phases.shape[1:] == (2, 2)
+        assert together.final_phases.shape == (2, 2)
+        for index in range(2):
+            alone = integrate_rk4(model, batch[index], duration=2e-9, dt=2e-11)
+            assert np.array_equal(together.final_phases[index], alone.final_phases)
+
+    def test_euler_maruyama_batched_matches_per_replica_streams(self):
+        model = two_oscillator_model(rate=5e8)
+        batch = np.array([[0.3, 1.1], [1.9, 0.4], [0.1, 2.2]])
+        seeds = [11, 12, 13]
+        together = integrate_euler_maruyama(
+            model, batch, duration=2e-9, dt=2e-11, noise_amplitude=1e6,
+            seed=ReplicaRNG.from_seeds(seeds),
+        )
+        for index, seed in enumerate(seeds):
+            alone = integrate_euler_maruyama(
+                model, batch[index], duration=2e-9, dt=2e-11, noise_amplitude=1e6, seed=seed
+            )
+            assert np.array_equal(together.final_phases[index], alone.final_phases)
+
+    def test_trajectory_supports_batched_phases(self):
+        times = np.linspace(0, 1e-9, 4)
+        phases = np.zeros((4, 5, 3))
+        trajectory = Trajectory(times=times, phases=phases)
+        assert trajectory.final_phases.shape == (5, 3)
+        joined = trajectory.concatenate(
+            Trajectory(times=times + 1e-9, phases=phases + 1.0)
+        )
+        assert joined.phases.shape == (7, 5, 3)
+        with pytest.raises(SimulationError):
+            trajectory.concatenate(Trajectory(times=times, phases=np.zeros((4, 2, 3))))
+
+    def test_shared_coupling_matches_per_replica_matvec(self):
+        matrix = uniform_coupling_matrix(kings_graph(3, 3).sparse_adjacency(), 1e9)
+        operator = SharedCoupling(matrix)
+        field = make_rng(0).uniform(-1.0, 1.0, size=(4, 9))
+        applied = operator.apply(field)
+        paired_a, paired_b = operator.apply_pair(field, field * 2.0)
+        for index in range(4):
+            expected = matrix @ field[index]
+            assert np.array_equal(applied[index], expected)
+            assert np.array_equal(paired_a[index], expected)
+            assert np.array_equal(paired_b[index], matrix @ (field[index] * 2.0))
+
+    def test_block_diagonal_coupling_matches_per_replica_matvec(self):
+        rng = make_rng(1)
+        blocks = []
+        for _ in range(3):
+            dense = np.triu(rng.uniform(0.0, 1.0, size=(6, 6)), k=1)
+            blocks.append(dense + dense.T)
+        operator = BlockDiagonalCoupling(blocks)
+        field = rng.uniform(-1.0, 1.0, size=(3, 6))
+        applied = operator.apply(field)
+        paired_a, paired_b = operator.apply_pair(field, -field)
+        for index, block in enumerate(blocks):
+            assert np.allclose(applied[index], block @ field[index])
+            assert np.array_equal(paired_a[index], applied[index])
+            assert np.array_equal(paired_b[index], -applied[index])
+        with pytest.raises(SimulationError):
+            operator.apply(np.zeros((2, 6)))
+
+    def test_group_masked_dense_equals_gated_matrices(self):
+        rng = make_rng(2)
+        dense = np.triu(rng.uniform(0.0, 1.0, size=(8, 8)), k=1)
+        base = dense + dense.T
+        groups = np.array([[0, 0, 1, 1, 0, 1, 0, 1], [1, 1, 1, 1, 0, 0, 0, 0]])
+        operator = GroupMaskedDenseCoupling(base, groups)
+        field = rng.uniform(-1.0, 1.0, size=(2, 8))
+        applied = operator.apply(field)
+        for index in range(2):
+            gate = (groups[index][:, None] == groups[index][None, :]).astype(float)
+            assert np.allclose(applied[index], (base * gate) @ field[index])
+
+    def test_group_masked_dense_single_group_is_plain_gemm(self):
+        base = np.array([[0.0, 2.0], [2.0, 0.0]])
+        operator = GroupMaskedDenseCoupling(base, np.zeros((3, 2), dtype=int))
+        field = np.arange(6.0).reshape(3, 2)
+        assert np.allclose(operator.apply(field), field @ base)
+
+    def test_batched_model_matches_sequential_model(self):
+        matrix = uniform_coupling_matrix(kings_graph(3, 3).sparse_adjacency(), 1e9)
+        sequential = CoupledOscillatorModel(
+            coupling_matrix=matrix, shil_strength=5e8, shil_offset=0.25, shil_order=2
+        )
+        batched = BatchedOscillatorModel(
+            coupling=SharedCoupling(matrix),
+            num_oscillators=9,
+            shil_strength=5e8,
+            shil_offset=0.25,
+            shil_order=2,
+        )
+        batch = make_rng(3).uniform(0.0, 2 * np.pi, size=(5, 9))
+        together = batched(0.0, batch)
+        for index in range(5):
+            assert np.array_equal(together[index], sequential(0.0, batch[index]))
+
+    def test_batched_model_validation(self):
+        operator = SharedCoupling(np.zeros((3, 3)))
+        with pytest.raises(SimulationError):
+            BatchedOscillatorModel(coupling=operator, num_oscillators=3, shil_order=1)
+        with pytest.raises(SimulationError):
+            BatchedOscillatorModel(coupling=operator, num_oscillators=3, shil_strength=-1.0)
+        with pytest.raises(SimulationError):
+            BatchedOscillatorModel(
+                coupling=operator, num_oscillators=3, frequency_detuning=np.zeros(2)
+            )
+        model = BatchedOscillatorModel(coupling=operator, num_oscillators=3)
+        with pytest.raises(SimulationError):
+            model(0.0, np.zeros(3))  # flat input: batched model wants (R, N)
+
+    @given(replicas=st.integers(min_value=1, max_value=5), seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_batched_initial_phases_shape_property(self, replicas, seed):
+        rng = ReplicaRNG.from_seeds(list(range(seed, seed + replicas)))
+        phases = random_initial_phases(7, rng)
+        assert phases.shape == (replicas, 7)
+        assert np.all((phases >= 0.0) & (phases < 2 * np.pi))
+        perturbed = perturbed_phases(phases, amplitude=0.1, seed=rng)
+        assert perturbed.shape == (replicas, 7)
+        assert np.all(np.abs(perturbed - phases) <= 0.1)
 
 
 class TestNoise:

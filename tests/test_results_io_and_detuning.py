@@ -73,6 +73,36 @@ class TestFrequencyDetuning:
         config = MSROPMConfig(frequency_detuning_std=0.01)
         assert config.frequency_detuning_rate_std == pytest.approx(0.01 * 2 * np.pi * 1.3e9)
 
+    def test_detuning_rate_is_relative_fraction_times_angular_frequency(self):
+        """Pin the unit relationship between the two detuning knobs.
+
+        ``frequency_detuning_std`` is a dimensionless *fraction* of the
+        oscillator frequency; ``frequency_detuning_rate_std`` is its exact
+        rad/s conversion: ``fraction * 2*pi*f`` (= ``fraction *
+        angular_frequency``), for every frequency.
+        """
+        for frequency, fraction in ((1.3e9, 0.01), (2.0e9, 0.003), (5.0e8, 0.05)):
+            config = MSROPMConfig(
+                oscillator_frequency=frequency, frequency_detuning_std=fraction
+            )
+            assert config.frequency_detuning_rate_std == fraction * config.angular_frequency
+            assert config.frequency_detuning_rate_std == pytest.approx(
+                fraction * 2.0 * np.pi * frequency, rel=1e-15
+            )
+        # The idealized default draws no mismatch at all.
+        assert MSROPMConfig().frequency_detuning_rate_std == 0.0
+
+    def test_machine_draws_mismatch_with_rate_std(self, fast_config):
+        """The machine's static mismatch is drawn in rad/s (the converted knob)."""
+        config = fast_config.with_updates(frequency_detuning_std=0.01, seed=11)
+        machine = MSROPM(kings_graph(5, 5), config)
+        from repro.rng import make_rng
+
+        expected = make_rng(config.seed).normal(
+            0.0, config.frequency_detuning_rate_std, size=25
+        )
+        assert np.array_equal(machine._frequency_detuning, expected)
+
     def test_small_detuning_keeps_accuracy_high(self, fast_config):
         """Injection locking tolerates sub-percent mismatch (flat accuracy)."""
         graph = kings_graph(5, 5)
