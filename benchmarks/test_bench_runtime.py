@@ -1,0 +1,95 @@
+"""Runtime benchmark: serial vs multi-worker suite wall-clock, plus warm cache.
+
+Times the scaled evaluation suite (Tables 1-2 + Fig. 5) three ways — serial,
+through a 2-worker process pool, and again against a warm result cache — and
+writes the measurements to ``BENCH_runtime.json`` so CI tracks the runtime's
+speedup trajectory.  Results are asserted bit-identical across all three
+paths; the speedup itself is only asserted on machines that can actually
+parallelize (>= 2 CPUs), since a single-core runner measures pure pool
+overhead.
+
+Environment knobs:
+
+* ``REPRO_RUNTIME_BENCH_SCALE`` — suite scale (default 0.1, the CI smoke size).
+* ``REPRO_RUNTIME_BENCH_WORKERS`` — parallel worker count (default 2).
+* ``REPRO_BENCH_OUT`` — output path (default ``BENCH_runtime.json`` in cwd).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.suite import run_suite
+from repro.runtime.runner import ExperimentRunner
+
+BENCH_SCALE = float(os.environ.get("REPRO_RUNTIME_BENCH_SCALE", "0.1"))
+BENCH_WORKERS = int(os.environ.get("REPRO_RUNTIME_BENCH_WORKERS", "2"))
+BENCH_OUT = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_runtime.json"))
+BENCH_ITERATIONS = 8
+BENCH_SEED = 2025
+
+
+def _fingerprint(result):
+    return (
+        [(row.problem_name, row.top_accuracy, row.mean_accuracy) for row in result.table1.rows],
+        result.table2.msropm_accuracies.tolist(),
+        [series.coloring_accuracies.tolist() for series in result.figure5.series],
+    )
+
+
+def _timed_suite(runner):
+    start = time.perf_counter()
+    result = run_suite(
+        scale=BENCH_SCALE, iterations=BENCH_ITERATIONS, seed=BENCH_SEED, runner=runner
+    )
+    return result, time.perf_counter() - start
+
+
+def test_bench_runtime_suite(tmp_path):
+    cache_dir = tmp_path / "cache"
+
+    serial_result, serial_s = _timed_suite(ExperimentRunner(workers=1))
+    parallel_result, parallel_s = _timed_suite(
+        ExperimentRunner(workers=BENCH_WORKERS, cache_dir=cache_dir)
+    )
+    warm_result, warm_s = _timed_suite(
+        ExperimentRunner(workers=BENCH_WORKERS, cache_dir=cache_dir)
+    )
+
+    # Correctness first: all three paths report identical numbers per seed.
+    assert _fingerprint(serial_result) == _fingerprint(parallel_result)
+    assert _fingerprint(serial_result) == _fingerprint(warm_result)
+    # The warm rerun must not solve anything.
+    assert warm_result.runner_stats["jobs_run"] == 0
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cache_speedup = serial_s / warm_s if warm_s > 0 else float("inf")
+    payload = {
+        "benchmark": "runtime-suite",
+        "scale": BENCH_SCALE,
+        "iterations": BENCH_ITERATIONS,
+        "workers": BENCH_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "warm_cache_s": round(warm_s, 4),
+        "parallel_speedup": round(speedup, 3),
+        "warm_cache_speedup": round(cache_speedup, 3),
+        "jobs_solved_serial": serial_result.runner_stats["jobs_run"],
+        "jobs_solved_warm": warm_result.runner_stats["jobs_run"],
+    }
+    BENCH_OUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"\nruntime suite @ scale {BENCH_SCALE}: serial {serial_s:.2f}s, "
+        f"{BENCH_WORKERS}-worker {parallel_s:.2f}s ({speedup:.2f}x), "
+        f"warm cache {warm_s:.2f}s ({cache_speedup:.2f}x) -> {BENCH_OUT}"
+    )
+
+    # A warm cache must beat re-solving by a wide margin at any scale.
+    assert warm_s < serial_s
+    # Pool speedup is only meaningful with real cores to spread across.
+    if (os.cpu_count() or 1) >= 2 * BENCH_WORKERS:
+        assert speedup >= 1.2

@@ -8,13 +8,18 @@ For each benchmark problem size the script runs the MSROPM, the simulated-
 annealing and TabuCol software baselines, and the exact solver, then prints a
 side-by-side accuracy table — the workload of the paper's Table 1 enriched
 with the software baselines the hardware is meant to accelerate.
+
+The MSROPM solves route through the experiment runtime: ``--workers`` shards
+the problems across processes and results land in the default on-disk cache,
+so a rerun (or a prior ``msropm table1`` under the same seeds) skips them.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro import MSROPM, MSROPMConfig
+from repro import ExperimentRunner, MSROPMConfig, PowerModel
+from repro.runtime.cache import default_cache_dir
 from repro.analysis import format_table
 from repro.baselines import anneal_coloring, exact_coloring, tabucol
 from repro.core.metrics import coloring_accuracy
@@ -30,17 +35,24 @@ def main() -> None:
     parser.add_argument("--sizes", type=int, nargs="+", default=[49, 400, 1024],
                         help="requested problem sizes (paper: 49 400 1024 2116)")
     parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the MSROPM solves")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
     args = parser.parse_args()
 
     iterations = args.iterations or scaled_iterations(args.scale)
     config = MSROPMConfig(num_colors=4, seed=args.seed)
+    runner = ExperimentRunner(
+        workers=args.workers,
+        cache_dir=None if args.no_cache else default_cache_dir(),
+    )
 
     rows = []
     for requested in args.sizes:
         problem = scaled_problem(requested, scale=args.scale)
         graph = problem.graph
-        machine = MSROPM(graph, config)
-        result = machine.solve(iterations=iterations, seed=args.seed + requested)
+        result = runner.solve(problem.spec, config, iterations=iterations, seed=args.seed + requested)
 
         sa = anneal_coloring(graph, 4, seed=args.seed)
         tabu = tabucol(graph, 4, seed=args.seed)
@@ -53,7 +65,7 @@ def main() -> None:
             f"{coloring_accuracy(graph, sa):.3f}",
             f"{coloring_accuracy(graph, tabu):.3f}",
             f"{coloring_accuracy(graph, exact):.3f}" if exact is not None else "n/a",
-            f"{machine.estimated_power() * 1e3:.1f} mW",
+            f"{PowerModel().total_power(graph.num_nodes, graph.num_edges) * 1e3:.1f} mW",
         ])
         print(f"finished {requested}-node problem "
               f"({iterations} MSROPM iterations, best accuracy {result.best_accuracy:.3f})")

@@ -37,6 +37,15 @@ from repro.graphs import (
 )
 from repro.circuit import PowerModel, TimingPlan
 from repro.exceptions import ReproError
+from repro.runtime import (
+    ExperimentRunner,
+    GraphSpec,
+    JobScheduler,
+    KingsGraphSpec,
+    ResultCache,
+    SolveJob,
+    SolveRequest,
+)
 
 __version__ = "1.0.0"
 
@@ -59,5 +68,12 @@ __all__ = [
     "PowerModel",
     "TimingPlan",
     "ReproError",
+    "ExperimentRunner",
+    "GraphSpec",
+    "JobScheduler",
+    "KingsGraphSpec",
+    "ResultCache",
+    "SolveJob",
+    "SolveRequest",
     "__version__",
 ]

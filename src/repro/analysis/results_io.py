@@ -6,6 +6,11 @@ without re-simulating.  Results are stored as plain JSON: the graph (via the
 graphs JSON codec), the per-iteration accuracies, seeds, stage records and
 colorings.  Trajectories and phase arrays are intentionally *not* persisted —
 they are large and can be regenerated from the recorded seeds.
+
+Every payload is stamped with :data:`SCHEMA` and :data:`FORMAT_VERSION`, and
+loading rejects any mismatch.  This is what the runtime's result cache
+(:mod:`repro.runtime.cache`) relies on for clean invalidation: when the format
+evolves, old cache entries fail to load, read as misses, and are recomputed.
 """
 
 from __future__ import annotations
@@ -24,8 +29,15 @@ from repro.graphs.partition import Bipartition
 
 PathLike = Union[str, Path]
 
-#: Format identifier written into every results file.
-FORMAT_VERSION = 1
+#: Schema identifier written into every results payload.  Together with
+#: :data:`FORMAT_VERSION` it names the exact serialized layout; loaders reject
+#: anything else, so downstream stores (the runtime's result cache keys its
+#: entries by a hash that includes these) invalidate cleanly whenever the
+#: result format evolves instead of deserializing stale shapes.
+SCHEMA = "msropm/solve-result"
+
+#: Format version written into every results file.  Bump on any layout change.
+FORMAT_VERSION = 2
 
 
 def solve_result_to_dict(result: SolveResult) -> Dict:
@@ -57,6 +69,7 @@ def solve_result_to_dict(result: SolveResult) -> Dict:
             }
         )
     return {
+        "schema": SCHEMA,
         "format_version": FORMAT_VERSION,
         "num_colors": result.num_colors,
         "graph": json.loads(graph_to_json(result.graph)),
@@ -68,9 +81,14 @@ def solve_result_from_dict(payload: Dict) -> SolveResult:
     """Rebuild a :class:`SolveResult` from :func:`solve_result_to_dict` output."""
     if not isinstance(payload, dict) or "iterations" not in payload or "graph" not in payload:
         raise AnalysisError("malformed solve-result payload")
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        raise AnalysisError(f"unsupported results schema {schema!r} (expected {SCHEMA!r})")
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
-        raise AnalysisError(f"unsupported results format version {version!r}")
+        raise AnalysisError(
+            f"unsupported results format version {version!r} (expected {FORMAT_VERSION})"
+        )
     graph = graph_from_json(json.dumps(payload["graph"]))
     num_colors = int(payload["num_colors"])
     node_order = graph.nodes

@@ -2,24 +2,33 @@
 
 Section 2.3 of the paper describes the design tensions (coupling strength vs
 oscillation, SHIL strength vs waveform integrity) and Section 4.1 notes the
-empirically chosen stage durations.  The sweep harness runs the MSROPM across
-a grid of configuration overrides and records summary statistics, powering the
-ablation benchmarks and the "how was the operating point chosen" analysis in
-EXPERIMENTS.md.
+empirically chosen stage durations.  The sweep harness expands a grid of
+configuration overrides into runtime solve jobs — one per valid grid point,
+all sharing one content-addressed graph spec — and submits the whole batch
+through :meth:`repro.runtime.runner.ExperimentRunner.solve_many`, so sweep
+points shard across worker processes and re-entered (or overlapping) grids
+resolve from the result cache.  It powers the ablation benchmarks and the
+"how was the operating point chosen" analysis in EXPERIMENTS.md.
+
+(The runner import is deferred to call time: :mod:`repro.runtime` serializes
+results through :mod:`repro.analysis.results_io`, so a module-level import
+here would close an import cycle.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import AnalysisError, ConfigurationError
 from repro.analysis.statistics import IterationStatistics
 from repro.core.config import MSROPMConfig
-from repro.core.machine import MSROPM
 from repro.graphs.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.runtime.runner import ExperimentRunner
 
 
 @dataclass
@@ -70,37 +79,22 @@ class SweepResult:
         return rows
 
 
-def sweep_configuration(
-    graph: Graph,
-    base_config: MSROPMConfig,
-    parameter_grid: Dict[str, Sequence[Any]],
-    iterations: int = 5,
-    seed: Optional[int] = 0,
-    engine: Optional[str] = None,
-) -> SweepResult:
-    """Evaluate the MSROPM over the cartesian product of ``parameter_grid``.
+def expand_parameter_grid(
+    base_config: MSROPMConfig, parameter_grid: Dict[str, Sequence[Any]]
+) -> Tuple[List[str], List[Tuple[Dict[str, Any], MSROPMConfig]]]:
+    """Expand a parameter grid into its valid ``(overrides, config)`` points.
 
-    ``parameter_grid`` maps :class:`MSROPMConfig` field names to the values to
-    try.  Configurations rejected by the config validation (e.g. a coupling
-    strength beyond the oscillation-quenching cap) are skipped rather than
-    aborting the sweep, since probing the edges of the valid region is exactly
-    what a design-space exploration does.
-
-    Every point's iterations execute on the replica engine selected by
-    ``engine`` (``"sequential"``/``"batched"``); ``None`` keeps
-    ``base_config.engine`` — the batched default makes wide ablation grids
-    roughly an order of magnitude cheaper.
+    Configurations rejected by the config validation (e.g. a coupling strength
+    beyond the oscillation-quenching cap) are skipped rather than aborting,
+    since probing the edges of the valid region is exactly what a design-space
+    exploration does.  Points are produced in the grid's cartesian-product
+    order (last parameter fastest), which fixes the sweep's result ordering
+    regardless of how the points are later scheduled.
     """
-    if iterations < 1:
-        raise AnalysisError("iterations must be at least 1")
     if not parameter_grid:
         raise AnalysisError("parameter_grid must not be empty")
-    if engine is not None:
-        # Applied (and validated) up front: a bad engine name is a caller
-        # error and must raise, not silently skip every grid point.
-        base_config = base_config.with_updates(engine=engine)
     names = list(parameter_grid.keys())
-    points: List[SweepPoint] = []
+    points: List[Tuple[Dict[str, Any], MSROPMConfig]] = []
 
     def recurse(position: int, chosen: Dict[str, Any]) -> None:
         if position == len(names):
@@ -108,24 +102,67 @@ def sweep_configuration(
                 config = base_config.with_updates(**chosen)
             except ConfigurationError:
                 return
-            machine = MSROPM(graph, config)
-            result = machine.solve(iterations=iterations, seed=seed)
-            statistics = IterationStatistics.from_result(result)
-            points.append(
-                SweepPoint(
-                    overrides=dict(chosen),
-                    statistics=statistics,
-                    mean_stage1_accuracy=float(result.stage1_accuracies.mean()),
-                )
-            )
+            points.append((dict(chosen), config))
             return
         name = names[position]
         for value in parameter_grid[name]:
             chosen[name] = value
             recurse(position + 1, chosen)
-        del chosen[name]
+        # An empty value sequence leaves the key unset (and the sweep empty).
+        chosen.pop(name, None)
 
     recurse(0, {})
+    return names, points
+
+
+def sweep_configuration(
+    graph: Graph,
+    base_config: MSROPMConfig,
+    parameter_grid: Dict[str, Sequence[Any]],
+    iterations: int = 5,
+    seed: Optional[int] = 0,
+    engine: Optional[str] = None,
+    runner: Optional["ExperimentRunner"] = None,
+) -> SweepResult:
+    """Evaluate the MSROPM over the cartesian product of ``parameter_grid``.
+
+    ``parameter_grid`` maps :class:`MSROPMConfig` field names to the values to
+    try; invalid combinations are skipped (see :func:`expand_parameter_grid`).
+
+    Every point becomes one runtime solve job and the whole grid is submitted
+    as a single batch, so a multi-worker ``runner`` shards the sweep across
+    processes and a cache-backed runner skips already-evaluated points
+    (``None`` = serial, uncached).  ``engine`` selects the replica engine
+    (``"sequential"``/``"batched"``); ``None`` keeps ``base_config.engine`` —
+    the batched default makes wide ablation grids roughly an order of
+    magnitude cheaper.
+    """
+    from repro.runtime.jobs import ExplicitGraphSpec
+    from repro.runtime.runner import ExperimentRunner, SolveRequest
+
+    if iterations < 1:
+        raise AnalysisError("iterations must be at least 1")
+    if engine is not None:
+        # Applied (and validated) up front: a bad engine name is a caller
+        # error and must raise, not silently skip every grid point.
+        base_config = base_config.with_updates(engine=engine)
+    runner = runner or ExperimentRunner()
+    names, grid_points = expand_parameter_grid(base_config, parameter_grid)
+    # One shared spec: the graph's content hash is computed once for the grid.
+    spec = ExplicitGraphSpec(graph)
+    requests = [
+        SolveRequest(spec=spec, config=config, iterations=iterations, seed=seed)
+        for _, config in grid_points
+    ]
+    results = runner.solve_many(requests)
+    points = [
+        SweepPoint(
+            overrides=overrides,
+            statistics=IterationStatistics.from_result(result),
+            mean_stage1_accuracy=float(result.stage1_accuracies.mean()),
+        )
+        for (overrides, _), result in zip(grid_points, results)
+    ]
     return SweepResult(parameter_names=names, points=points)
 
 
@@ -136,6 +173,7 @@ def coupling_strength_sweep(
     iterations: int = 5,
     seed: Optional[int] = 0,
     engine: Optional[str] = None,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SweepResult:
     """Ablation: solution quality versus B2B coupling strength."""
     base = base_config or MSROPMConfig()
@@ -146,6 +184,7 @@ def coupling_strength_sweep(
         iterations=iterations,
         seed=seed,
         engine=engine,
+        runner=runner,
     )
 
 
@@ -156,6 +195,7 @@ def shil_strength_sweep(
     iterations: int = 5,
     seed: Optional[int] = 0,
     engine: Optional[str] = None,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SweepResult:
     """Ablation: solution quality versus SHIL injection strength."""
     base = base_config or MSROPMConfig()
@@ -166,6 +206,7 @@ def shil_strength_sweep(
         iterations=iterations,
         seed=seed,
         engine=engine,
+        runner=runner,
     )
 
 
@@ -176,6 +217,7 @@ def annealing_time_sweep(
     iterations: int = 5,
     seed: Optional[int] = 0,
     engine: Optional[str] = None,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SweepResult:
     """Ablation: solution quality versus the per-stage annealing duration."""
     from repro.circuit.control import TimingPlan
@@ -183,5 +225,5 @@ def annealing_time_sweep(
     base = base_config or MSROPMConfig()
     timings = [replace(base.timing, annealing=duration) for duration in annealing_times]
     return sweep_configuration(
-        graph, base, {"timing": timings}, iterations=iterations, seed=seed, engine=engine
+        graph, base, {"timing": timings}, iterations=iterations, seed=seed, engine=engine, runner=runner
     )

@@ -1,10 +1,21 @@
 """Command-line interface: run the paper's experiments from the terminal.
 
+All solve-heavy commands route through the experiment runtime
+(:mod:`repro.runtime`): ``--workers`` shards jobs across a process pool,
+results are cached on disk under their content hash (``--cache-dir`` to place
+the cache, ``--no-cache`` to disable it), and ``--replica-chunk`` splits a
+single large solve into schedulable replica ranges.  Per seed, the printed
+numbers are bit-identical regardless of the worker count.
+
 Examples
 --------
 Solve a 7x7 King's graph 4-coloring with 10 iterations::
 
     msropm solve --rows 7 --iterations 10 --seed 1
+
+Solve an external DIMACS ``.col`` instance (a first-class workload)::
+
+    msropm solve --graph instance.col --iterations 10 --seed 1
 
 Compare against the original per-iteration loop (same results per seed)::
 
@@ -16,6 +27,10 @@ Reproduce the paper's tables and figures (optionally scaled down)::
     msropm table2 --scale 0.25
     msropm fig5 --scale 0.25
     msropm fig3
+
+Run the whole evaluation in one sharded, cached pass::
+
+    msropm suite --scale 0.25 --workers 4 --cache-dir ~/.cache/msropm
 """
 
 from __future__ import annotations
@@ -26,12 +41,51 @@ from typing import List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.core.config import MSROPMConfig
-from repro.core.machine import MSROPM
 from repro.experiments.fig3_waveforms import render_figure3, run_figure3
 from repro.experiments.fig5_accuracy import render_figure5, run_figure5
+from repro.experiments.suite import run_suite
 from repro.experiments.table1_stats import run_table1
 from repro.experiments.table2_comparison import run_table2
 from repro.graphs.generators import kings_graph
+from repro.runtime.cache import default_cache_dir
+from repro.runtime.jobs import KingsGraphSpec, as_graph_spec
+from repro.runtime.runner import ExperimentRunner
+
+
+def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the experiment-runtime flags shared by all solve-heavy commands."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the job scheduler (1 = run in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the content-addressed result cache "
+        "(default: $MSROPM_CACHE_DIR or ~/.cache/msropm)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
+    parser.add_argument(
+        "--replica-chunk",
+        type=int,
+        default=None,
+        help="split each solve into jobs of at most this many iterations "
+        "(chunk boundaries are independent of --workers, so cache keys are too)",
+    )
+
+
+def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
+    """Build the :class:`ExperimentRunner` described by the runtime flags."""
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    return ExperimentRunner(
+        workers=args.workers, cache_dir=cache_dir, replica_chunk=args.replica_chunk
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,23 +104,31 @@ def build_parser() -> argparse.ArgumentParser:
         "King's graphs, numerically equivalent on dense ones)",
     )
 
-    solve = subparsers.add_parser("solve", help="solve a King's-graph 4-coloring problem")
+    solve = subparsers.add_parser("solve", help="solve a 4-coloring problem")
     solve.add_argument("--rows", type=int, default=7, help="board side length (rows == cols)")
+    solve.add_argument(
+        "--graph",
+        default=None,
+        help="solve this DIMACS .col (or graph JSON) instance instead of a King's board",
+    )
     solve.add_argument("--iterations", type=int, default=10, help="number of repeated runs")
     solve.add_argument("--colors", type=int, default=4, help="number of colors (power of two)")
     solve.add_argument("--seed", type=int, default=1, help="base RNG seed")
     solve.add_argument("--engine", **engine_kwargs)
+    add_runtime_arguments(solve)
 
     for name, help_text in (
         ("table1", "reproduce Table 1 (per-problem statistics)"),
         ("table2", "reproduce Table 2 (prior-work comparison)"),
         ("fig5", "reproduce Figure 5 (accuracy and Hamming-distance data)"),
+        ("suite", "run the whole evaluation (Tables 1-2, Fig. 5) in one sharded pass"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("--scale", type=float, default=1.0, help="problem/iteration scale in (0, 1]")
         sub.add_argument("--iterations", type=int, default=None, help="override iteration count")
         sub.add_argument("--seed", type=int, default=2025, help="base RNG seed")
         sub.add_argument("--engine", **engine_kwargs)
+        add_runtime_arguments(sub)
 
     fig3 = subparsers.add_parser("fig3", help="reproduce Figure 3 (stage waveforms)")
     fig3.add_argument("--rows", type=int, default=4, help="board side length of the traced run")
@@ -76,10 +138,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_solve(args: argparse.Namespace) -> int:
-    graph = kings_graph(args.rows, args.rows)
+    if args.graph is not None:
+        # One spec, parsed once: its built graph is cached in-process, so the
+        # display metadata and a serial solve share the same parse.
+        spec = as_graph_spec(args.graph)
+        graph = spec.build()
+        title_name = spec.label
+    else:
+        graph = kings_graph(args.rows, args.rows)
+        spec = KingsGraphSpec(args.rows, args.rows)
+        title_name = f"{graph.num_nodes}-node King's graph"
     config = MSROPMConfig(num_colors=args.colors, seed=args.seed, engine=args.engine)
-    machine = MSROPM(graph, config)
-    result = machine.solve(iterations=args.iterations, seed=args.seed)
+    runner = runner_from_args(args)
+    result = runner.solve(spec, config, iterations=args.iterations, seed=args.seed)
     rows = [
         [item.iteration_index, f"{item.stage1_accuracy:.3f}", f"{item.accuracy:.3f}", item.is_exact]
         for item in result.iterations
@@ -88,13 +159,16 @@ def _run_solve(args: argparse.Namespace) -> int:
         format_table(
             ("iteration", "stage-1 accuracy", "coloring accuracy", "exact"),
             rows,
-            title=f"MSROPM on {graph.num_nodes}-node King's graph ({args.colors} colors)",
+            title=f"MSROPM on {title_name} ({args.colors} colors, {graph.num_nodes} nodes)",
         )
     )
     print()
     print(f"best accuracy:  {result.best_accuracy:.3f}")
     print(f"mean accuracy:  {result.accuracies.mean():.3f}")
     print(f"exact solutions: {result.num_exact_solutions}/{result.num_iterations}")
+    stats = runner.stats()
+    if stats["cache_hits"]:
+        print(f"(result served from cache: {stats['cache_hits']} hit(s))")
     return 0
 
 
@@ -106,21 +180,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_solve(args)
     if args.command == "table1":
         result = run_table1(
-            scale=args.scale, iterations=args.iterations, seed=args.seed, engine=args.engine
+            scale=args.scale,
+            iterations=args.iterations,
+            seed=args.seed,
+            engine=args.engine,
+            runner=runner_from_args(args),
         )
         print(result.render())
         return 0
     if args.command == "table2":
         result = run_table2(
-            scale=args.scale, iterations=args.iterations, seed=args.seed, engine=args.engine
+            scale=args.scale,
+            iterations=args.iterations,
+            seed=args.seed,
+            engine=args.engine,
+            runner=runner_from_args(args),
         )
         print(result.render())
         return 0
     if args.command == "fig5":
         result = run_figure5(
-            scale=args.scale, iterations=args.iterations, seed=args.seed, engine=args.engine
+            scale=args.scale,
+            iterations=args.iterations,
+            seed=args.seed,
+            engine=args.engine,
+            runner=runner_from_args(args),
         )
         print(render_figure5(result))
+        return 0
+    if args.command == "suite":
+        result = run_suite(
+            scale=args.scale,
+            iterations=args.iterations,
+            seed=args.seed,
+            engine=args.engine,
+            runner=runner_from_args(args),
+        )
+        print(result.render())
         return 0
     if args.command == "fig3":
         result = run_figure3(rows=args.rows, cols=args.rows, seed=args.seed)

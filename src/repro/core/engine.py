@@ -85,6 +85,28 @@ class SolverEngine(ABC):
         order, exactly as ``MSROPM.solve`` aggregated them historically.
         """
 
+    def run_range(
+        self,
+        machine: "MSROPM",
+        seeds: Sequence[Optional[int]],
+        start_index: int = 0,
+    ) -> List[IterationResult]:
+        """Run a contiguous replica range of a larger solve.
+
+        ``seeds`` are the per-iteration seeds of replicas ``start_index ..
+        start_index + len(seeds) - 1`` of the enclosing solve; the returned
+        results carry those *global* iteration indices.  Because every replica
+        draws from its own seeded stream, running a solve as several ranges
+        and concatenating the results is bit-identical to one full ``run`` —
+        this is the entry point the experiment runtime's replica-chunked jobs
+        use (:mod:`repro.runtime.jobs`).
+        """
+        results = self.run(machine, seeds)
+        if start_index:
+            for offset, item in enumerate(results):
+                item.iteration_index = start_index + offset
+        return results
+
 
 class SequentialEngine(SolverEngine):
     """Runs iterations one at a time (the original interpreter loop)."""

@@ -213,6 +213,37 @@ class MSROPM:
         results = solver_engine.run(self, seeds)
         return SolveResult(graph=self.graph, num_colors=self.config.num_colors, iterations=results)
 
+    def solve_range(
+        self,
+        total_iterations: int,
+        start: int,
+        stop: int,
+        seed: Optional[int] = None,
+        engine: Optional[object] = None,
+    ) -> List[IterationResult]:
+        """Run replicas ``[start, stop)`` of a ``total_iterations``-iteration solve.
+
+        Per-iteration seeds are derived from the *full* solve
+        (``iteration_seeds(seed, total_iterations)``) and then sliced, so any
+        tiling of ``[0, total_iterations)`` into ranges merges back — in range
+        order — to exactly the iteration list :meth:`solve` would produce for
+        the same base seed.  This is the replica-chunking entry point of the
+        experiment runtime (:mod:`repro.runtime`); the returned results carry
+        global iteration indices.
+        """
+        if total_iterations < 1:
+            raise ConfigurationError(
+                f"total_iterations must be at least 1, got {total_iterations}"
+            )
+        if not 0 <= start < stop <= total_iterations:
+            raise ConfigurationError(
+                f"invalid replica range [{start}, {stop}) for {total_iterations} iterations"
+            )
+        base_seed = seed if seed is not None else self.config.seed
+        seeds = iteration_seeds(base_seed, total_iterations)[start:stop]
+        solver_engine = get_engine(engine if engine is not None else self.config.engine)
+        return solver_engine.run_range(self, seeds, start_index=start)
+
     # ------------------------------------------------------------------
     def _score_stage(
         self, stage_index: int, bits: np.ndarray, group_values: np.ndarray

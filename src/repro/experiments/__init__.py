@@ -6,6 +6,7 @@ from repro.experiments.problems import (
     TABLE1_SIZES,
     BenchmarkProblem,
     default_config,
+    file_workload,
     paper_problem,
     scaled_iterations,
     scaled_problem,
@@ -14,16 +15,19 @@ from repro.experiments.fig3_waveforms import Figure3Result, render_figure3, run_
 from repro.experiments.fig5_accuracy import (
     Figure5Result,
     Figure5Series,
+    plan_figure5_requests,
     render_figure5,
     run_figure5,
 )
 from repro.experiments.table1_stats import (
     Table1Result,
     Table1Row,
+    plan_table1_requests,
     power_scaling_series,
     run_table1,
 )
-from repro.experiments.table2_comparison import Table2Result, run_table2
+from repro.experiments.table2_comparison import Table2Result, plan_table2_requests, run_table2
+from repro.experiments.suite import SuiteResult, plan_suite_requests, run_suite
 from repro.experiments.energy_landscape import (
     EnergyLandscapeResult,
     IntervalTrace,
@@ -41,6 +45,7 @@ from repro.experiments.ablations import (
 
 __all__ = [
     "BenchmarkProblem",
+    "file_workload",
     "paper_problem",
     "scaled_problem",
     "scaled_iterations",
@@ -61,6 +66,12 @@ __all__ = [
     "power_scaling_series",
     "Table2Result",
     "run_table2",
+    "plan_table1_requests",
+    "plan_table2_requests",
+    "plan_figure5_requests",
+    "SuiteResult",
+    "plan_suite_requests",
+    "run_suite",
     "MultiVsSingleStageResult",
     "run_coupling_ablation",
     "run_shil_ablation",

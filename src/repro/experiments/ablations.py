@@ -8,12 +8,18 @@ enough").  These ablations quantify those trade-offs on the 49-node benchmark
 using the sweep harness, and additionally compare the multi-stage 2-SHIL
 approach against the single-stage N-SHIL architecture on the same instance —
 the paper's central architectural claim.
+
+Every sweep accepts a ``runner`` (:class:`repro.runtime.runner.ExperimentRunner`)
+and forwards it to :mod:`repro.analysis.sweep`, which expands the grid into
+runtime solve jobs — so ablations shard across worker processes and reuse the
+result cache like every other experiment.  ``None`` keeps the serial,
+uncached behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -25,10 +31,12 @@ from repro.analysis.sweep import (
 )
 from repro.baselines.single_stage_ropm import SingleStageROPM
 from repro.core.config import MSROPMConfig
-from repro.core.machine import MSROPM
 from repro.experiments.problems import default_config
 from repro.graphs.generators import kings_graph
 from repro.units import ns
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runner import ExperimentRunner
 
 
 @dataclass
@@ -60,11 +68,17 @@ def run_coupling_ablation(
     iterations: int = 5,
     config: Optional[MSROPMConfig] = None,
     seed: int = 11,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SweepResult:
     """Sweep the B2B coupling strength on a ``rows x rows`` King's graph."""
     graph = kings_graph(rows, rows)
     return coupling_strength_sweep(
-        graph, strengths, base_config=config or default_config(seed), iterations=iterations, seed=seed
+        graph,
+        strengths,
+        base_config=config or default_config(seed),
+        iterations=iterations,
+        seed=seed,
+        runner=runner,
     )
 
 
@@ -74,11 +88,17 @@ def run_shil_ablation(
     iterations: int = 5,
     config: Optional[MSROPMConfig] = None,
     seed: int = 12,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SweepResult:
     """Sweep the SHIL injection strength on a ``rows x rows`` King's graph."""
     graph = kings_graph(rows, rows)
     return shil_strength_sweep(
-        graph, strengths, base_config=config or default_config(seed), iterations=iterations, seed=seed
+        graph,
+        strengths,
+        base_config=config or default_config(seed),
+        iterations=iterations,
+        seed=seed,
+        runner=runner,
     )
 
 
@@ -88,12 +108,18 @@ def run_annealing_time_ablation(
     iterations: int = 5,
     config: Optional[MSROPMConfig] = None,
     seed: int = 13,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SweepResult:
     """Sweep the per-stage annealing duration (the paper's empirically chosen 20 ns)."""
     graph = kings_graph(rows, rows)
     times = [ns(value) for value in annealing_times_ns]
     return annealing_time_sweep(
-        graph, times, base_config=config or default_config(seed), iterations=iterations, seed=seed
+        graph,
+        times,
+        base_config=config or default_config(seed),
+        iterations=iterations,
+        seed=seed,
+        runner=runner,
     )
 
 
@@ -103,6 +129,7 @@ def run_detuning_ablation(
     iterations: int = 5,
     config: Optional[MSROPMConfig] = None,
     seed: int = 15,
+    runner: Optional["ExperimentRunner"] = None,
 ):
     """Ablation: robustness to static oscillator frequency mismatch (process variation).
 
@@ -121,6 +148,7 @@ def run_detuning_ablation(
         {"frequency_detuning_std": list(detuning_stds)},
         iterations=iterations,
         seed=seed,
+        runner=runner,
     )
 
 
@@ -129,6 +157,7 @@ def run_multi_vs_single_stage(
     iterations: int = 10,
     config: Optional[MSROPMConfig] = None,
     seed: int = 14,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> MultiVsSingleStageResult:
     """Compare 4-coloring via 2 stages (MSROPM) against 4-coloring via one 4-SHIL stage.
 
@@ -136,9 +165,12 @@ def run_multi_vs_single_stage(
     (a 4th-order SHIL); the paper argues the multi-stage decomposition reaches
     higher accuracy because each stage only needs robust binary discrimination.
     """
+    from repro.runtime.runner import ExperimentRunner
+
     graph = kings_graph(rows, rows)
     config = config or default_config(seed)
-    multi = MSROPM(graph, config).solve(iterations=iterations, seed=seed)
+    runner = runner or ExperimentRunner()
+    multi = runner.solve(graph, config, iterations=iterations, seed=seed)
     single = SingleStageROPM(graph, num_colors=4, config=config).solve(iterations=iterations, seed=seed)
     return MultiVsSingleStageResult(
         multi_stage_accuracies=multi.accuracies,

@@ -7,7 +7,11 @@ Figure 5 of the paper has three panels per problem size (49, 400, 1024 nodes):
 * (c) a histogram of the pairwise Hamming distances between the 40 solutions.
 
 :func:`run_figure5` produces all three series per problem and
-:func:`render_figure5` prints them in the layout of the figure.
+:func:`render_figure5` prints them in the layout of the figure.  Solves are
+planned as runtime jobs (``plan_figure5_requests``) and executed through
+:meth:`repro.runtime.runner.ExperimentRunner.solve_many`, so a multi-worker
+runner shards the three problems across processes and a cache-backed runner
+skips sizes Table 1 already solved under the same seeds.
 """
 
 from __future__ import annotations
@@ -19,7 +23,6 @@ import numpy as np
 
 from repro.analysis.reporting import accuracy_series_text, text_histogram
 from repro.core.config import MSROPMConfig
-from repro.core.machine import MSROPM
 from repro.core.results import SolveResult
 from repro.experiments.problems import (
     FIGURE5_SIZES,
@@ -27,7 +30,9 @@ from repro.experiments.problems import (
     default_config,
     scaled_iterations,
     scaled_problem,
+    scaled_spec,
 )
+from repro.runtime.runner import ExperimentRunner, SolveRequest
 
 
 @dataclass
@@ -66,6 +71,35 @@ class Figure5Result:
         raise KeyError(f"no series for problem size {num_nodes}")
 
 
+def plan_figure5_requests(
+    sizes: Sequence[int] = FIGURE5_SIZES,
+    iterations: Optional[int] = None,
+    scale: float = 1.0,
+    config: Optional[MSROPMConfig] = None,
+    seed: int = 2025,
+    engine: Optional[str] = None,
+) -> List[SolveRequest]:
+    """The solve requests Figure 5 schedules: one per plotted problem size.
+
+    Seeds follow Table 1's ``seed + requested_size`` convention, so the
+    overlapping sizes (49/400/1024) hash to the *same* jobs as Table 1's and
+    resolve from cache when both experiments run in one suite.
+    """
+    config = config or default_config(seed)
+    if engine is not None:
+        config = config.with_updates(engine=engine)
+    iterations = iterations if iterations is not None else scaled_iterations(scale)
+    return [
+        SolveRequest(
+            spec=scaled_spec(requested_size, scale=scale),
+            config=config,
+            iterations=iterations,
+            seed=seed + requested_size,
+        )
+        for requested_size in sizes
+    ]
+
+
 def run_figure5(
     sizes: Sequence[int] = FIGURE5_SIZES,
     iterations: Optional[int] = None,
@@ -73,21 +107,22 @@ def run_figure5(
     config: Optional[MSROPMConfig] = None,
     seed: int = 2025,
     engine: Optional[str] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Figure5Result:
     """Run the Figure 5 experiment (optionally scaled down) and collect the data.
 
     ``engine`` selects the replica engine for the per-problem solves
-    (``None`` keeps the config's engine, batched by default).
+    (``None`` keeps the config's engine, batched by default); ``runner``
+    supplies the execution runtime (``None`` = serial, uncached).
     """
-    config = config or default_config(seed)
-    if engine is not None:
-        config = config.with_updates(engine=engine)
-    iterations = iterations if iterations is not None else scaled_iterations(scale)
+    runner = runner or ExperimentRunner()
+    requests = plan_figure5_requests(
+        sizes=sizes, iterations=iterations, scale=scale, config=config, seed=seed, engine=engine
+    )
+    solves = runner.solve_many(requests)
     result = Figure5Result()
-    for requested_size in sizes:
+    for requested_size, solve in zip(sizes, solves):
         problem = scaled_problem(requested_size, scale=scale)
-        machine = MSROPM(problem.graph, config)
-        solve: SolveResult = machine.solve(iterations=iterations, seed=seed + requested_size)
         result.series.append(
             Figure5Series(
                 problem_name=f"{requested_size}-node",

@@ -2,8 +2,11 @@
 
 Table 1 of the paper reports, for the 49/400/1024/2116-node problems:
 the search-space size (``4^n``), the iteration count (40), the average power
-and the top accuracy.  This module runs the machine on each problem, evaluates
-the bottom-up power model on the mapped fabric, and renders the same rows.
+and the top accuracy.  This module plans one solve job per problem, routes the
+batch through the experiment runtime (``plan_table1_requests`` ->
+:meth:`repro.runtime.runner.ExperimentRunner.solve_many` — sharded across
+workers, cached on disk), evaluates the bottom-up power model on the mapped
+fabric, and renders the same rows.
 """
 
 from __future__ import annotations
@@ -16,14 +19,15 @@ import numpy as np
 from repro.analysis.reporting import format_power_mw, format_search_space, format_table
 from repro.circuit.power import PAPER_POWER_MW, PowerModel
 from repro.core.config import MSROPMConfig
-from repro.core.machine import MSROPM
 from repro.experiments.problems import (
     PAPER_ITERATIONS,
     TABLE1_SIZES,
     default_config,
     scaled_iterations,
     scaled_problem,
+    scaled_spec,
 )
+from repro.runtime.runner import ExperimentRunner, SolveRequest
 
 
 @dataclass
@@ -90,6 +94,34 @@ class Table1Result:
         return comparison
 
 
+def plan_table1_requests(
+    sizes: Sequence[int] = TABLE1_SIZES,
+    iterations: Optional[int] = None,
+    scale: float = 1.0,
+    config: Optional[MSROPMConfig] = None,
+    seed: int = 2025,
+    engine: Optional[str] = None,
+) -> List[SolveRequest]:
+    """The solve requests Table 1 schedules: one per problem size.
+
+    Shared with :func:`run_table1` and the suite planner so a suite-level
+    warm pass produces byte-identical job hashes to a standalone Table 1 run.
+    """
+    config = config or default_config(seed)
+    if engine is not None:
+        config = config.with_updates(engine=engine)
+    iterations = iterations if iterations is not None else scaled_iterations(scale)
+    return [
+        SolveRequest(
+            spec=scaled_spec(requested, scale=scale),
+            config=config,
+            iterations=iterations,
+            seed=seed + requested,
+        )
+        for requested in sizes
+    ]
+
+
 def run_table1(
     sizes: Sequence[int] = TABLE1_SIZES,
     iterations: Optional[int] = None,
@@ -98,22 +130,25 @@ def run_table1(
     power_model: Optional[PowerModel] = None,
     seed: int = 2025,
     engine: Optional[str] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Table1Result:
     """Run the Table 1 experiment (optionally scaled) and collect the rows.
 
     ``engine`` selects the replica engine for the 40-iteration solves
-    (``None`` keeps the config's engine, batched by default).
+    (``None`` keeps the config's engine, batched by default).  ``runner``
+    supplies the execution runtime (worker pool + result cache); ``None``
+    uses a serial, uncached runner, which reproduces the historical behaviour
+    exactly.
     """
-    config = config or default_config(seed)
-    if engine is not None:
-        config = config.with_updates(engine=engine)
+    runner = runner or ExperimentRunner()
     power_model = power_model or PowerModel()
-    iterations = iterations if iterations is not None else scaled_iterations(scale)
+    requests = plan_table1_requests(
+        sizes=sizes, iterations=iterations, scale=scale, config=config, seed=seed, engine=engine
+    )
+    solves = runner.solve_many(requests)
     result = Table1Result()
-    for requested in sizes:
+    for requested, request, solve in zip(sizes, requests, solves):
         problem = scaled_problem(requested, scale=scale)
-        machine = MSROPM(problem.graph, config)
-        solve = machine.solve(iterations=iterations, seed=seed + requested)
         power = power_model.total_power(problem.graph.num_nodes, problem.graph.num_edges)
         result.rows.append(
             Table1Row(
@@ -121,7 +156,7 @@ def run_table1(
                 requested_nodes=requested,
                 simulated_nodes=problem.graph.num_nodes,
                 num_edges=problem.graph.num_edges,
-                iterations=iterations,
+                iterations=request.iterations,
                 average_power_w=power,
                 top_accuracy=float(solve.best_accuracy),
                 mean_accuracy=float(solve.accuracies.mean()),

@@ -91,6 +91,20 @@ def read_dimacs(path: PathLike, name: str = "") -> Graph:
     return from_dimacs(text, name=name or Path(path).stem)
 
 
+def read_graph(path: PathLike) -> Graph:
+    """Read a graph from ``path``, dispatching on the file extension.
+
+    ``.json`` loads the library's label-preserving JSON codec; everything else
+    (``.col``, ``.dimacs``, extensionless benchmark files) is parsed as DIMACS.
+    This is the loader behind ``msropm solve --graph`` and
+    :func:`repro.experiments.problems.file_workload`.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        return read_json(path)
+    return read_dimacs(path)
+
+
 # ----------------------------------------------------------------------
 # JSON (labels preserved)
 # ----------------------------------------------------------------------

@@ -1,0 +1,42 @@
+"""Parallel experiment runtime: jobs, scheduling, caching, and the runner facade.
+
+This package is the execution layer between the experiments and the solver
+core.  Experiments declare *what* to solve (:class:`SolveRequest` /
+:class:`SolveJob`); the runtime decides *how*: sharding jobs across worker
+processes (:class:`JobScheduler`), skipping jobs whose results are already in
+the content-addressed on-disk cache (:class:`ResultCache`), and merging
+replica-chunked solves back deterministically.  :class:`ExperimentRunner`
+is the facade all of `repro.experiments`, `repro.analysis.sweep` and the CLI
+route through.
+"""
+
+from repro.runtime.cache import CACHE_SCHEMA_VERSION, ResultCache, default_cache_dir
+from repro.runtime.jobs import (
+    JOB_SCHEMA_VERSION,
+    DimacsGraphSpec,
+    ExplicitGraphSpec,
+    GraphSpec,
+    KingsGraphSpec,
+    SolveJob,
+    as_graph_spec,
+    merge_job_results,
+)
+from repro.runtime.runner import ExperimentRunner, SolveRequest
+from repro.runtime.scheduler import JobScheduler
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "JOB_SCHEMA_VERSION",
+    "DimacsGraphSpec",
+    "ExplicitGraphSpec",
+    "GraphSpec",
+    "KingsGraphSpec",
+    "SolveJob",
+    "SolveRequest",
+    "ExperimentRunner",
+    "JobScheduler",
+    "ResultCache",
+    "as_graph_spec",
+    "default_cache_dir",
+    "merge_job_results",
+]

@@ -1,0 +1,120 @@
+"""Content-addressed on-disk result cache for solve jobs.
+
+The evaluation grid is highly redundant across invocations: rerunning Table 1
+after a code-free change, rendering Fig. 5 for the sizes Table 1 already
+solved, or re-entering a sweep with an extended grid all repeat jobs that were
+already computed.  The cache stores each job's results under its content hash
+(:attr:`repro.runtime.jobs.SolveJob.job_hash`) so those repeats are disk reads
+instead of simulations.
+
+Layout: ``<root>/<hash[:2]>/<hash>.json`` — two-level sharding keeps
+directories small on large sweeps.  Entries are JSON envelopes carrying the
+cache schema version, the job description, and the solve results serialized
+via :mod:`repro.analysis.results_io`.  *Any* failure to read an entry —
+missing file, corrupt JSON, an envelope or results schema mismatch — is
+treated as a miss and the entry is rewritten after recomputation, so format
+evolution invalidates old entries cleanly instead of erroring.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exceptions import ReproError
+from repro.analysis.results_io import solve_result_from_dict, solve_result_to_dict
+from repro.core.results import SolveResult
+from repro.runtime.jobs import SolveJob
+
+#: Version of the cache envelope.  Bump on envelope layout changes; old
+#: entries then read as misses and are recomputed.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "MSROPM_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The default on-disk cache location (``$MSROPM_CACHE_DIR`` overrides)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "msropm"
+
+
+class ResultCache:
+    """Content-addressed store of :class:`SolveResult` payloads, one per job.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cache (created on first store).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, job_hash: str) -> Path:
+        """The entry path for a job hash (two-level hash sharding)."""
+        return self.root / job_hash[:2] / f"{job_hash}.json"
+
+    def load(self, job: SolveJob) -> Optional[SolveResult]:
+        """Return the cached results for ``job``, or ``None`` on any miss.
+
+        Unreadable and schema-mismatched entries count as misses by design:
+        they will be overwritten by the recomputed result.
+        """
+        if not job.cacheable:
+            return None
+        path = self.path_for(job.job_hash)
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("cache_schema") != CACHE_SCHEMA_VERSION
+                or envelope.get("job_hash") != job.job_hash
+            ):
+                raise ReproError("cache envelope mismatch")
+            result = solve_result_from_dict(envelope["result"])
+        except (OSError, ValueError, KeyError, TypeError, IndexError, ReproError):
+            self.misses += 1
+            return None
+        if len(result.iterations) != job.num_replicas:
+            # A partial/foreign entry under our key: recompute.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, job: SolveJob, result: SolveResult) -> None:
+        """Persist ``result`` for ``job`` (atomic write, last writer wins)."""
+        if not job.cacheable:
+            return
+        path = self.path_for(job.job_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "job_hash": job.job_hash,
+            "job": job.describe(),
+            "result": solve_result_to_dict(result),
+        }
+        # Write-to-temp + rename so concurrent runners never observe a torn
+        # entry; os.replace is atomic within one filesystem.
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, suffix=".tmp", delete=False, encoding="utf-8"
+        )
+        try:
+            with handle:
+                json.dump(envelope, handle)
+            os.replace(handle.name, path)
+        except OSError:
+            Path(handle.name).unlink(missing_ok=True)
+            raise
+        self.stores += 1

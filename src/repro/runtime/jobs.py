@@ -1,0 +1,345 @@
+"""Solve jobs: the schedulable unit of work of the experiment runtime.
+
+Every number in the paper's evaluation comes from the same primitive: "run the
+machine on graph G with configuration C, seeded from S, for iterations
+[a, b) of an R-iteration solve".  :class:`SolveJob` reifies that primitive as
+a picklable value object with a *stable content hash*, which is what makes the
+rest of the runtime possible:
+
+* the :mod:`repro.runtime.scheduler` ships jobs to worker processes (pickle),
+* the :mod:`repro.runtime.cache` keys its on-disk entries by the job hash,
+* replica-range chunking (``SolveJob.split``) shards one large solve into
+  several jobs whose merged results are bit-identical to the unchunked run,
+  because per-iteration seeds are derived from the *full* solve up front and
+  every replica consumes only its own RNG stream.
+
+Graphs are carried as :class:`GraphSpec` descriptions rather than instances so
+a job stays small on the wire and content-addressable: a King's board by its
+shape, a DIMACS ``.col`` file by the SHA-256 of its text, an explicit graph by
+the SHA-256 of its canonical JSON form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from abc import ABC, abstractmethod
+from dataclasses import asdict, dataclass
+from functools import cached_property
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ConfigurationError
+from repro.core.config import MSROPMConfig
+from repro.core.results import SolveResult
+from repro.graphs.graph import Graph
+
+#: Version of the job-hash recipe.  Bump whenever the hashed payload or the
+#: solver semantics change in a result-affecting way; every cache entry keyed
+#: under the old recipe then misses and is recomputed cleanly.
+JOB_SCHEMA_VERSION = 1
+
+
+def _sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def canonical_json(payload: Dict) -> str:
+    """Serialize ``payload`` to the canonical JSON form used for hashing."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+# ----------------------------------------------------------------------
+# Graph specifications
+# ----------------------------------------------------------------------
+class GraphSpec(ABC):
+    """A declarative, content-addressable description of a problem graph."""
+
+    @abstractmethod
+    def build(self) -> Graph:
+        """Materialize the graph (called in the worker process)."""
+
+    @abstractmethod
+    def fingerprint(self) -> Dict:
+        """JSON-able content identity of the graph (goes into the job hash)."""
+
+    @property
+    @abstractmethod
+    def label(self) -> str:
+        """Short human-readable name for logs and reports."""
+
+
+@dataclass(frozen=True)
+class KingsGraphSpec(GraphSpec):
+    """A ``rows x cols`` King's graph (the paper's benchmark topology)."""
+
+    rows: int
+    cols: int
+
+    def build(self) -> Graph:
+        from repro.graphs.generators import kings_graph
+
+        return kings_graph(self.rows, self.cols)
+
+    def fingerprint(self) -> Dict:
+        return {"kind": "kings", "rows": self.rows, "cols": self.cols}
+
+    @property
+    def label(self) -> str:
+        return f"kings-{self.rows}x{self.cols}"
+
+
+class DimacsGraphSpec(GraphSpec):
+    """A graph loaded from a DIMACS ``.col`` file, addressed by file content.
+
+    The fingerprint hashes the file *text*, not the path: moving an instance
+    does not invalidate cached results, editing it does.  The text is
+    snapshotted on first access and carried with the spec (including across
+    pickling to worker processes), so one spec always hashes and builds the
+    same content even if the file changes mid-run, and the file is read at
+    most once per spec.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._snapshot: Optional[str] = None
+        self._digest: Optional[str] = None
+        self._graph: Optional[Graph] = None
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DimacsGraphSpec) and other.path == self.path
+
+    def __hash__(self) -> int:
+        return hash((DimacsGraphSpec, self.path))
+
+    def __getstate__(self):
+        # Snapshot the text *before* crossing a process boundary so every
+        # worker builds exactly this content even for uncacheable jobs (whose
+        # hash never forced a read); ship the snapshot but not the parsed
+        # graph, keeping the pickled job small.
+        self._text()
+        state = dict(self.__dict__)
+        state["_graph"] = None
+        return state
+
+    def _text(self) -> str:
+        if self._snapshot is None:
+            self._snapshot = Path(self.path).read_text(encoding="utf-8")
+        return self._snapshot
+
+    def build(self) -> Graph:
+        from repro.graphs.io import from_dimacs
+
+        if self._graph is None:
+            self._graph = from_dimacs(self._text(), name=Path(self.path).stem)
+        return self._graph
+
+    def fingerprint(self) -> Dict:
+        if self._digest is None:
+            self._digest = _sha256_text(self._text())
+        return {"kind": "dimacs", "sha256": self._digest}
+
+    @property
+    def label(self) -> str:
+        return Path(self.path).stem or "dimacs"
+
+
+class ExplicitGraphSpec(GraphSpec):
+    """An in-memory graph, addressed by the SHA-256 of its canonical JSON.
+
+    Used by the sweep harness and library callers that already hold a
+    :class:`Graph`.  The JSON form (and therefore the hash) is computed once
+    and reused across the many jobs of a sweep.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._digest: Optional[str] = None
+
+    def build(self) -> Graph:
+        return self.graph
+
+    def fingerprint(self) -> Dict:
+        if self._digest is None:
+            from repro.graphs.io import to_json
+
+            self._digest = _sha256_text(to_json(self.graph))
+        return {"kind": "explicit", "sha256": self._digest}
+
+    @property
+    def label(self) -> str:
+        return self.graph.name or f"graph-{self.graph.num_nodes}n"
+
+
+def as_graph_spec(source: Union[GraphSpec, Graph, str, Path]) -> GraphSpec:
+    """Coerce a graph, spec, or ``.col``/``.json`` path into a :class:`GraphSpec`.
+
+    Paths dispatch on their suffix like :func:`repro.graphs.io.read_graph`:
+    ``.json`` loads the label-preserving JSON codec (content-addressed via the
+    loaded graph), everything else is treated as DIMACS.
+    """
+    if isinstance(source, GraphSpec):
+        return source
+    if isinstance(source, Graph):
+        return ExplicitGraphSpec(source)
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if path.suffix.lower() == ".json":
+            from repro.graphs.io import read_json
+
+            return ExplicitGraphSpec(read_json(path))
+        return DimacsGraphSpec(str(source))
+    raise ConfigurationError(f"cannot build a graph spec from {type(source)!r}")
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SolveJob:
+    """One schedulable solve: graph + config + seed + replica range.
+
+    ``replica_start``/``replica_stop`` select iterations ``[start, stop)`` of
+    a ``total_iterations``-iteration solve whose per-iteration seeds derive
+    from ``seed``.  A full solve is the range ``[0, total_iterations)``; any
+    partition of that range into jobs merges back (in range order) to results
+    bit-identical to the unchunked solve, because each replica owns an
+    independent seeded stream.
+    """
+
+    spec: GraphSpec
+    config: MSROPMConfig
+    seed: int
+    total_iterations: int
+    replica_start: int = 0
+    replica_stop: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.total_iterations < 1:
+            raise ConfigurationError(
+                f"total_iterations must be at least 1, got {self.total_iterations}"
+            )
+        stop = self.stop
+        if not 0 <= self.replica_start < stop <= self.total_iterations:
+            raise ConfigurationError(
+                f"invalid replica range [{self.replica_start}, {stop}) "
+                f"for a {self.total_iterations}-iteration solve"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def stop(self) -> int:
+        """The exclusive end of the replica range (``None`` means the full solve)."""
+        return self.total_iterations if self.replica_stop is None else self.replica_stop
+
+    @property
+    def num_replicas(self) -> int:
+        """Number of iterations this job executes."""
+        return self.stop - self.replica_start
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether this job's results are deterministic (safe to cache).
+
+        A job is reproducible only when the solve seed is fixed and, if the
+        machine draws static frequency detuning, the config seed is fixed too.
+        """
+        if self.seed is None:
+            return False
+        if self.config.frequency_detuning_std > 0 and self.config.seed is None:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict:
+        """The hashed identity of the job as a JSON-able dictionary."""
+        from repro.analysis.results_io import FORMAT_VERSION
+
+        return {
+            "job_schema": JOB_SCHEMA_VERSION,
+            "results_format": FORMAT_VERSION,
+            "graph": self.spec.fingerprint(),
+            "config": asdict(self.config),
+            "seed": self.seed,
+            "total_iterations": self.total_iterations,
+            "replica_start": self.replica_start,
+            "replica_stop": self.stop,
+        }
+
+    @cached_property
+    def job_hash(self) -> str:
+        """Stable SHA-256 content hash of the job (cache key, dedup key)."""
+        if not self.cacheable:
+            raise ConfigurationError(
+                "jobs without a fixed seed are nondeterministic and have no content hash"
+            )
+        return _sha256_text(canonical_json(self.describe()))
+
+    @property
+    def label(self) -> str:
+        """Short name for progress output."""
+        suffix = (
+            ""
+            if self.num_replicas == self.total_iterations
+            else f"[{self.replica_start}:{self.stop}]"
+        )
+        return f"{self.spec.label}/i{self.total_iterations}{suffix}/s{self.seed}"
+
+    # ------------------------------------------------------------------
+    def split(self, replica_chunk: Optional[int]) -> List["SolveJob"]:
+        """Split this job into chunks of at most ``replica_chunk`` replicas.
+
+        Chunk boundaries depend only on the chunk size — never on the worker
+        count — so the set of job hashes (and therefore the cache layout) is
+        identical no matter how many processes execute them.
+        """
+        if replica_chunk is None or replica_chunk >= self.num_replicas:
+            return [self]
+        if replica_chunk < 1:
+            raise ConfigurationError(f"replica_chunk must be >= 1, got {replica_chunk}")
+        chunks = []
+        for start in range(self.replica_start, self.stop, replica_chunk):
+            chunks.append(
+                SolveJob(
+                    spec=self.spec,
+                    config=self.config,
+                    seed=self.seed,
+                    total_iterations=self.total_iterations,
+                    replica_start=start,
+                    replica_stop=min(start + replica_chunk, self.stop),
+                )
+            )
+        return chunks
+
+    def run(self) -> SolveResult:
+        """Execute the job in-process and return its range's results.
+
+        Iteration indices in the returned result are *global* (relative to the
+        full solve), which is what makes range merging order-preserving.
+        """
+        from repro.core.machine import MSROPM
+
+        graph = self.spec.build()
+        machine = MSROPM(graph, self.config)
+        iterations = machine.solve_range(
+            total_iterations=self.total_iterations,
+            start=self.replica_start,
+            stop=self.stop,
+            seed=self.seed,
+        )
+        return SolveResult(graph=graph, num_colors=self.config.num_colors, iterations=iterations)
+
+
+def merge_job_results(jobs: List[SolveJob], results: List[SolveResult]) -> SolveResult:
+    """Merge per-chunk results back into one solve, in replica order.
+
+    The chunks must tile one solve's replica range; iterations are concatenated
+    in ascending ``replica_start`` order, reproducing exactly the iteration
+    list the unchunked solve would have produced.
+    """
+    if not jobs or len(jobs) != len(results):
+        raise ConfigurationError("merge needs one result per job")
+    ordered = sorted(zip(jobs, results), key=lambda pair: pair[0].replica_start)
+    iterations = [item for _, result in ordered for item in result.iterations]
+    first = ordered[0][1]
+    return SolveResult(graph=first.graph, num_colors=first.num_colors, iterations=iterations)

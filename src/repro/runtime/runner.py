@@ -1,0 +1,184 @@
+"""ExperimentRunner: the facade every experiment's solves route through.
+
+The runner turns "solve these problems with these configs" into scheduled,
+cached jobs:
+
+1. each :class:`SolveRequest` becomes one :class:`~repro.runtime.jobs.SolveJob`
+   (optionally split into replica chunks),
+2. jobs already answered by the in-process memo or the on-disk
+   :class:`~repro.runtime.cache.ResultCache` are skipped,
+3. the remaining jobs are sharded across the
+   :class:`~repro.runtime.scheduler.JobScheduler`'s worker processes,
+4. chunk results are merged back per request, bit-identical to serial runs.
+
+Identical jobs appearing in several requests (e.g. Table 1 and the suite both
+solving the 49-node problem under the same seed) are deduplicated by content
+hash and solved once.  A default-constructed runner (one worker, no cache
+directory) reproduces today's serial behaviour exactly, which is what the
+experiments use when no runner is passed.
+
+Results returned by the runner are in *persisted form* (round-tripped through
+:mod:`repro.analysis.results_io`): accuracies, colorings, seeds and stage
+records are preserved exactly, while unserialized extras (final phase arrays,
+trajectories) are dropped — the same form a cache hit or a worker process
+returns, so the three sources are indistinguishable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.config import MSROPMConfig
+from repro.core.results import SolveResult
+from repro.graphs.graph import Graph
+from repro.runtime.cache import ResultCache
+from repro.runtime.jobs import GraphSpec, SolveJob, as_graph_spec, merge_job_results
+from repro.runtime.scheduler import JobScheduler
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One experiment-level solve: a problem, a config, and an iteration budget."""
+
+    spec: GraphSpec
+    config: MSROPMConfig
+    iterations: int
+    seed: Optional[int]
+
+
+class ExperimentRunner:
+    """Unified execution facade: scheduling + caching for experiment solves.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for the scheduler (1 = run inline, the default).
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables disk
+        caching (an in-process memo still deduplicates within the runner's
+        lifetime).
+    replica_chunk:
+        If set, solves are split into jobs of at most this many replicas, so
+        a single large solve can shard across workers.  Chunk boundaries
+        depend only on this value — never on ``workers`` — keeping cache
+        hashes identical across worker counts.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        replica_chunk: Optional[int] = None,
+    ) -> None:
+        self.scheduler = JobScheduler(workers)
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.replica_chunk = replica_chunk
+        self._memo: Dict[str, SolveResult] = {}
+        self.jobs_run = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Number of scheduler worker processes."""
+        return self.scheduler.workers
+
+    def stats(self) -> Dict[str, int]:
+        """Execution counters: jobs run, cache hits/misses/stores, memo size."""
+        counters = {
+            "jobs_run": self.jobs_run,
+            "memo_entries": len(self._memo),
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_stores": 0,
+        }
+        if self.cache is not None:
+            counters["cache_hits"] = self.cache.hits
+            counters["cache_misses"] = self.cache.misses
+            counters["cache_stores"] = self.cache.stores
+        return counters
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        graph: Union[GraphSpec, Graph, str, Path],
+        config: MSROPMConfig,
+        iterations: int,
+        seed: Optional[int] = None,
+    ) -> SolveResult:
+        """Solve one problem through the runtime (convenience wrapper)."""
+        request = SolveRequest(
+            spec=as_graph_spec(graph), config=config, iterations=iterations, seed=seed
+        )
+        return self.solve_many([request])[0]
+
+    def solve_many(self, requests: Sequence[SolveRequest]) -> List[SolveResult]:
+        """Solve a batch of requests, sharding all their jobs across the pool.
+
+        Returns one merged :class:`SolveResult` per request, in request order.
+        Submitting the whole batch at once (rather than request-by-request) is
+        what lets the pool interleave problems, sweep points and replica
+        chunks freely.
+        """
+        per_request_jobs: List[List[SolveJob]] = []
+        for request in requests:
+            job = SolveJob(
+                spec=request.spec,
+                config=request.config,
+                seed=request.seed,
+                total_iterations=request.iterations,
+            )
+            per_request_jobs.append(job.split(self.replica_chunk))
+
+        # Resolve every job against the memo and the disk cache; collect the
+        # rest for scheduling, deduplicated by content hash.
+        resolved: Dict[int, SolveResult] = {}
+        pending: List[SolveJob] = []
+        pending_keys: set = set()
+        flat: List[SolveJob] = [job for jobs in per_request_jobs for job in jobs]
+        for position, job in enumerate(flat):
+            key = job.job_hash if job.cacheable else None
+            if key is not None and key in self._memo:
+                resolved[position] = self._memo[key]
+                continue
+            if key is not None and key in pending_keys:
+                continue  # identical job already queued; share its result
+            if key is not None and self.cache is not None:
+                cached = self.cache.load(job)
+                if cached is not None:
+                    self._memo[key] = cached
+                    resolved[position] = cached
+                    continue
+            if key is not None:
+                pending_keys.add(key)
+            pending.append(job)
+
+        fresh = self.scheduler.run(pending)
+        self.jobs_run += len(fresh)
+        for job, result in zip(pending, fresh):
+            if job.cacheable:
+                self._memo[job.job_hash] = result
+                if self.cache is not None:
+                    self.cache.store(job, result)
+
+        # Fill the remaining positions (freshly run or deduplicated jobs).
+        next_uncacheable = iter(
+            result for job, result in zip(pending, fresh) if not job.cacheable
+        )
+        for position, job in enumerate(flat):
+            if position in resolved:
+                continue
+            if job.cacheable:
+                resolved[position] = self._memo[job.job_hash]
+            else:
+                resolved[position] = next(next_uncacheable)
+
+        # Merge chunks back per request, in submission order.
+        results: List[SolveResult] = []
+        cursor = 0
+        for jobs in per_request_jobs:
+            chunk_results = [resolved[cursor + offset] for offset in range(len(jobs))]
+            cursor += len(jobs)
+            results.append(merge_job_results(jobs, chunk_results))
+        return results

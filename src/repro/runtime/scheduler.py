@@ -1,0 +1,65 @@
+"""Process-pool scheduler: shard solve jobs across worker processes.
+
+The evaluation grid (problems x sweep points x replica chunks) is
+embarrassingly parallel — jobs share no state, and every job is seeded — so
+the scheduler is deliberately simple: a :class:`concurrent.futures.ProcessPoolExecutor`
+fan-out with order-preserving collection.  Three properties matter:
+
+* **Determinism.**  Results are collected by submission index, never by
+  completion order, and each job's randomness is fully determined by its
+  seeds, so a run with ``workers=N`` is bit-identical to ``workers=1``.
+* **Serial fast path.**  With one worker (or one job) everything runs in the
+  calling process — no pool, no pickling — which is also the reference
+  behaviour the parallel path is tested against.
+* **Normalized payloads.**  Workers return results in the persisted form of
+  :mod:`repro.analysis.results_io` (the same form the cache stores), so a
+  result is identical whether it came from the serial path, a worker process,
+  or a cache hit.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.analysis.results_io import solve_result_from_dict, solve_result_to_dict
+from repro.core.results import SolveResult
+from repro.runtime.jobs import SolveJob
+
+
+def _execute_job(job: SolveJob) -> Dict:
+    """Worker entry point: run one job and return its persisted-form payload.
+
+    Module-level (not a closure) so it pickles under every multiprocessing
+    start method; the dict payload keeps the parent<->worker wire format
+    identical to the cache format.
+    """
+    return solve_result_to_dict(job.run())
+
+
+class JobScheduler:
+    """Executes batches of :class:`SolveJob` across a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; ``1`` (default) runs jobs inline in the
+        calling process.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def run(self, jobs: Sequence[SolveJob]) -> List[SolveResult]:
+        """Run ``jobs`` and return their results in submission order."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if self.workers == 1 or len(jobs) == 1:
+            return [solve_result_from_dict(_execute_job(job)) for job in jobs]
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(jobs))) as pool:
+            payloads = pool.map(_execute_job, jobs)
+            return [solve_result_from_dict(payload) for payload in payloads]

@@ -16,6 +16,17 @@ from repro.graphs.generators import cycle_graph, grid_graph, kings_graph
 from repro.units import ns
 
 
+@pytest.fixture(autouse=True)
+def _sandbox_result_cache(monkeypatch, tmp_path):
+    """Point the runtime's default result cache at a per-test directory.
+
+    CLI commands enable the on-disk cache by default; without this, tests
+    would write into (and read stale results from) the user's real
+    ``~/.cache/msropm``.
+    """
+    monkeypatch.setenv("MSROPM_CACHE_DIR", str(tmp_path / "msropm-cache"))
+
+
 @pytest.fixture
 def kings_5x5():
     """A 25-node King's graph — small enough for exact baselines."""

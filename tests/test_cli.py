@@ -70,3 +70,66 @@ class TestMain:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "Figure 5(a)" in captured
+
+
+class TestRuntimeFlags:
+    def test_runtime_flags_parse_on_all_solve_commands(self):
+        for command in ("solve", "table1", "table2", "fig5", "suite"):
+            args = build_parser().parse_args(
+                [command, "--workers", "4", "--no-cache", "--replica-chunk", "8"]
+            )
+            assert args.workers == 4
+            assert args.no_cache is True
+            assert args.replica_chunk == 8
+
+    def test_cache_dir_flag(self):
+        args = build_parser().parse_args(["suite", "--cache-dir", "/tmp/somewhere"])
+        assert args.cache_dir == "/tmp/somewhere"
+        assert args.workers == 1
+
+    def test_solve_graph_flag_runs_dimacs_workload(self, capsys, tmp_path):
+        from repro.graphs import kings_graph, write_dimacs
+
+        path = tmp_path / "board.col"
+        write_dimacs(kings_graph(4, 4), path)
+        exit_code = main(
+            ["solve", "--graph", str(path), "--iterations", "2", "--seed", "3", "--no-cache"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "MSROPM on board" in captured
+        assert "16 nodes" in captured
+
+    def test_solve_workers_matches_serial_output(self, capsys, tmp_path):
+        """--workers 4 must print byte-identical results to --workers 1."""
+        base = ["solve", "--rows", "4", "--iterations", "4", "--seed", "5", "--no-cache"]
+        main(base + ["--workers", "1"])
+        serial_out = capsys.readouterr().out
+        main(base + ["--workers", "4", "--replica-chunk", "1"])
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+
+    def test_solve_cache_round_trip(self, capsys, tmp_path):
+        base = [
+            "solve", "--rows", "4", "--iterations", "2", "--seed", "6",
+            "--cache-dir", str(tmp_path),
+        ]
+        main(base)
+        cold_out = capsys.readouterr().out
+        main(base)
+        warm_out = capsys.readouterr().out
+        assert "served from cache" in warm_out
+        assert cold_out in warm_out.replace("(result served from cache: 1 hit(s))\n", "")
+
+    def test_suite_command_scaled(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "suite", "--scale", "0.05", "--iterations", "2", "--seed", "7",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 1" in captured
+        assert "Figure 5(a)" in captured
+        assert "suite finished" in captured

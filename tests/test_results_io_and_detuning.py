@@ -42,17 +42,37 @@ class TestResultsIO:
                 assert stage_b.partition.side_b == stage_a.partition.side_b
 
     def test_dict_round_trip_without_files(self, fast_config):
+        from repro.analysis.results_io import FORMAT_VERSION, SCHEMA
+
         result = self._solve(fast_config)
         payload = solve_result_to_dict(result)
-        assert payload["format_version"] == 1
+        assert payload["schema"] == SCHEMA
+        assert payload["format_version"] == FORMAT_VERSION
         rebuilt = solve_result_from_dict(json.loads(json.dumps(payload)))
         assert np.allclose(rebuilt.accuracies, result.accuracies)
 
     def test_malformed_payload_rejected(self):
+        from repro.analysis.results_io import SCHEMA
+
         with pytest.raises(AnalysisError):
             solve_result_from_dict({"iterations": []})
         with pytest.raises(AnalysisError):
-            solve_result_from_dict({"graph": {}, "iterations": [], "format_version": 99, "num_colors": 4})
+            solve_result_from_dict(
+                {"graph": {}, "iterations": [], "schema": SCHEMA, "format_version": 99, "num_colors": 4}
+            )
+
+    def test_schema_mismatch_rejected(self, fast_config):
+        """Version-1 payloads (no schema field) and foreign schemas must not load."""
+        payload = solve_result_to_dict(self._solve(fast_config))
+        legacy = dict(payload)
+        del legacy["schema"]
+        legacy["format_version"] = 1
+        with pytest.raises(AnalysisError):
+            solve_result_from_dict(legacy)
+        foreign = dict(payload)
+        foreign["schema"] = "someone-else/results"
+        with pytest.raises(AnalysisError):
+            solve_result_from_dict(foreign)
 
     def test_invalid_json_file(self, tmp_path):
         path = tmp_path / "broken.json"

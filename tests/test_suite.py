@@ -1,0 +1,70 @@
+"""Tests for the one-pass evaluation suite and its runtime integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.suite import plan_suite_requests, run_suite
+from repro.runtime.jobs import SolveJob
+from repro.runtime.runner import ExperimentRunner
+
+#: Tiny-but-real suite shape used by all tests here.
+SUITE_KWARGS = dict(scale=0.05, iterations=2, seed=2025)
+
+
+def _suite_accuracy_fingerprint(result):
+    """Every per-iteration number the suite reports, as comparable arrays."""
+    return (
+        [(row.problem_name, row.top_accuracy, row.mean_accuracy, row.num_exact) for row in result.table1.rows],
+        result.table2.msropm_accuracies.tolist(),
+        [
+            (series.problem_name, series.coloring_accuracies.tolist(), series.maxcut_accuracies.tolist())
+            for series in result.figure5.series
+        ],
+    )
+
+
+class TestSuitePlanning:
+    def test_plan_covers_all_experiments(self):
+        requests = plan_suite_requests(**SUITE_KWARGS)
+        # 4 Table 1 problems + 1 Table 2 headline row + 3 Figure 5 problems.
+        assert len(requests) == 8
+
+    def test_fig5_jobs_dedupe_against_table1(self):
+        """Fig. 5 replots Table 1's sizes under the same seeds: same hashes."""
+        requests = plan_suite_requests(**SUITE_KWARGS)
+        hashes = [
+            SolveJob(
+                spec=r.spec, config=r.config, seed=r.seed, total_iterations=r.iterations
+            ).job_hash
+            for r in requests
+        ]
+        # The three Figure 5 jobs are hash-identical to three Table 1 jobs.
+        assert len(hashes) - len(set(hashes)) == 3
+
+
+class TestSuiteExecution:
+    def test_suite_runs_and_renders(self, tmp_path):
+        result = run_suite(runner=ExperimentRunner(cache_dir=tmp_path), **SUITE_KWARGS)
+        text = result.render()
+        assert "Table 1" in text
+        assert "MSROPM (this work)" in text
+        assert "Figure 5(a)" in text
+        assert "suite finished" in text
+        # Deduplication: 8 planned requests, 5 distinct jobs actually solved.
+        assert result.runner_stats["jobs_run"] == 5
+
+    def test_parallel_suite_bit_identical_to_serial_and_warm_cache_skips(self, tmp_path):
+        """The PR's acceptance property at test scale: workers=4 == workers=1,
+        and a warm cache turns the rerun into pure loads."""
+        serial = run_suite(runner=ExperimentRunner(workers=1), **SUITE_KWARGS)
+        parallel_runner = ExperimentRunner(workers=4, cache_dir=tmp_path)
+        parallel = run_suite(runner=parallel_runner, **SUITE_KWARGS)
+        assert _suite_accuracy_fingerprint(serial) == _suite_accuracy_fingerprint(parallel)
+
+        warm_runner = ExperimentRunner(workers=4, cache_dir=tmp_path)
+        warm = run_suite(runner=warm_runner, **SUITE_KWARGS)
+        assert warm.runner_stats["jobs_run"] == 0
+        assert warm.runner_stats["cache_hits"] == 5
+        assert _suite_accuracy_fingerprint(serial) == _suite_accuracy_fingerprint(warm)
