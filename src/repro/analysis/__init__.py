@@ -8,12 +8,16 @@ from repro.analysis.statistics import (
     time_to_solution,
 )
 from repro.analysis.reporting import (
+    FamilyAccuracySummary,
     accuracy_series_text,
+    format_accuracy,
     format_float,
     format_power_mw,
     format_search_space,
     format_table,
     format_time_ns,
+    present_accuracy,
+    summarize_accuracy_by_family,
     text_histogram,
 )
 from repro.analysis.sweep import (
@@ -49,6 +53,10 @@ __all__ = [
     "format_power_mw",
     "format_time_ns",
     "format_search_space",
+    "format_accuracy",
+    "present_accuracy",
+    "FamilyAccuracySummary",
+    "summarize_accuracy_by_family",
     "text_histogram",
     "accuracy_series_text",
     "SweepPoint",

@@ -148,9 +148,22 @@ class ComparisonTable:
 
 
 def accuracy_range_text(worst: float, best: float) -> str:
-    """Format an accuracy range the way Table 2 does (``worst%-best%``)."""
-    if not 0.0 <= worst <= 1.0 or not 0.0 <= best <= 1.0:
-        raise AnalysisError("accuracies must be in [0, 1]")
+    """Format an accuracy range the way Table 2 does (``worst%-best%``).
+
+    Accuracy measurements are raw ratios and may exceed 1.0 against heuristic
+    references (e.g. the ROIM row's striping cut); this presentation helper
+    clips them to 100% — with a warning — via :func:`present_accuracy`.
+    """
+    import math
+
+    from repro.analysis.reporting import present_accuracy
+
+    if math.isnan(worst) or math.isnan(best):
+        raise AnalysisError("accuracies must not be NaN")
+    if worst < 0.0 or best < 0.0:
+        raise AnalysisError("accuracies must be non-negative")
     if best < worst:
         raise AnalysisError("best accuracy must be >= worst accuracy")
+    worst = present_accuracy(worst, label="worst accuracy")
+    best = present_accuracy(best, label="best accuracy")
     return f"{worst * 100:.0f}%-{best * 100:.0f}%"

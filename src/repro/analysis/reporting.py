@@ -7,7 +7,9 @@ so results are readable in terminal output, CI logs and EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +47,74 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title
     for row in str_rows:
         lines.append(render_row(row))
     return "\n".join(lines)
+
+
+def present_accuracy(value: float, label: str = "accuracy") -> float:
+    """Clamp an accuracy ratio into [0, 1] for display, warning when it exceeds 1.
+
+    Accuracy *measurements* are raw ratios (``cut / reference``) and may
+    legitimately exceed 1.0 when a solver beats a heuristic reference (see
+    :meth:`repro.ising.maxcut.MaxCutProblem.accuracy`).  Reports and tables
+    clip here — the one place allowed to — so better-than-reference results
+    stay visible in the data and audible in the logs.
+    """
+    if value != value:  # NaN passes through; hiding it as 0.0 would misreport
+        return value
+    if value > 1.0:
+        warnings.warn(
+            f"{label} {value:.3f} exceeds its reference (better-than-reference "
+            "result); clipping to 1.0 for display",
+            stacklevel=2,
+        )
+        return 1.0
+    return max(0.0, float(value))
+
+
+def format_accuracy(value: float, digits: int = 3, label: str = "accuracy") -> str:
+    """Format an accuracy ratio for a table cell (presentation-layer clipping, NaN-safe)."""
+    presented = present_accuracy(value, label=label)
+    if presented != presented:
+        return "nan"
+    return f"{presented:.{digits}f}"
+
+
+@dataclass(frozen=True)
+class FamilyAccuracySummary:
+    """Aggregate accuracy of one workload family across its instances."""
+
+    family: str
+    count: int
+    mean_accuracy: float
+    best_accuracy: float
+
+
+def summarize_accuracy_by_family(
+    pairs: Iterable[Tuple[str, Sequence[float]]]
+) -> List[FamilyAccuracySummary]:
+    """Aggregate ``(family, accuracies)`` pairs into per-family summaries.
+
+    Families appear in first-seen order; ``count`` is the number of pairs
+    (instances) contributed, ``mean_accuracy`` averages over every value and
+    ``best_accuracy`` is the overall maximum.  Used by the scenario-matrix
+    experiment and the sweep reports to compare workload families at a glance.
+    """
+    grouped: Dict[str, List[float]] = {}
+    counts: Dict[str, int] = {}
+    for family, accuracies in pairs:
+        values = [float(value) for value in accuracies]
+        if not values:
+            raise AnalysisError(f"family {family!r} contributed an empty accuracy list")
+        grouped.setdefault(family, []).extend(values)
+        counts[family] = counts.get(family, 0) + 1
+    return [
+        FamilyAccuracySummary(
+            family=family,
+            count=counts[family],
+            mean_accuracy=float(np.mean(values)),
+            best_accuracy=float(np.max(values)),
+        )
+        for family, values in grouped.items()
+    ]
 
 
 def format_float(value: float, digits: int = 3) -> str:

@@ -18,7 +18,8 @@ here would close an import cycle.)
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,7 +29,11 @@ from repro.core.config import MSROPMConfig
 from repro.graphs.graph import Graph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.runtime.jobs import GraphSpec
     from repro.runtime.runner import ExperimentRunner
+
+#: Anything the sweep harness can solve on (see repro.runtime.jobs.as_graph_spec).
+GraphLike = Union[Graph, "GraphSpec", str, Path]
 
 
 @dataclass
@@ -116,7 +121,7 @@ def expand_parameter_grid(
 
 
 def sweep_configuration(
-    graph: Graph,
+    graph: GraphLike,
     base_config: MSROPMConfig,
     parameter_grid: Dict[str, Sequence[Any]],
     iterations: int = 5,
@@ -126,8 +131,13 @@ def sweep_configuration(
 ) -> SweepResult:
     """Evaluate the MSROPM over the cartesian product of ``parameter_grid``.
 
-    ``parameter_grid`` maps :class:`MSROPMConfig` field names to the values to
-    try; invalid combinations are skipped (see :func:`expand_parameter_grid`).
+    ``graph`` is anything :func:`repro.runtime.jobs.as_graph_spec` accepts: a
+    built :class:`~repro.graphs.graph.Graph`, a content-addressed
+    :class:`~repro.runtime.jobs.GraphSpec` (e.g. a workload-zoo instance's
+    ``spec`` — the graph is then built in the workers, not here), or a
+    ``.col``/``.json`` path.  ``parameter_grid`` maps :class:`MSROPMConfig`
+    field names to the values to try; invalid combinations are skipped (see
+    :func:`expand_parameter_grid`).
 
     Every point becomes one runtime solve job and the whole grid is submitted
     as a single batch, so a multi-worker ``runner`` shards the sweep across
@@ -137,7 +147,7 @@ def sweep_configuration(
     the batched default makes wide ablation grids roughly an order of
     magnitude cheaper.
     """
-    from repro.runtime.jobs import ExplicitGraphSpec
+    from repro.runtime.jobs import as_graph_spec
     from repro.runtime.runner import ExperimentRunner, SolveRequest
 
     if iterations < 1:
@@ -149,7 +159,7 @@ def sweep_configuration(
     runner = runner or ExperimentRunner()
     names, grid_points = expand_parameter_grid(base_config, parameter_grid)
     # One shared spec: the graph's content hash is computed once for the grid.
-    spec = ExplicitGraphSpec(graph)
+    spec = as_graph_spec(graph)
     requests = [
         SolveRequest(spec=spec, config=config, iterations=iterations, seed=seed)
         for _, config in grid_points
@@ -167,7 +177,7 @@ def sweep_configuration(
 
 
 def coupling_strength_sweep(
-    graph: Graph,
+    graph: GraphLike,
     strengths: Sequence[float],
     base_config: Optional[MSROPMConfig] = None,
     iterations: int = 5,
@@ -189,7 +199,7 @@ def coupling_strength_sweep(
 
 
 def shil_strength_sweep(
-    graph: Graph,
+    graph: GraphLike,
     strengths: Sequence[float],
     base_config: Optional[MSROPMConfig] = None,
     iterations: int = 5,
@@ -211,7 +221,7 @@ def shil_strength_sweep(
 
 
 def annealing_time_sweep(
-    graph: Graph,
+    graph: GraphLike,
     annealing_times: Sequence[float],
     base_config: Optional[MSROPMConfig] = None,
     iterations: int = 5,

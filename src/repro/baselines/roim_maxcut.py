@@ -81,7 +81,11 @@ class ROIMMaxCut:
         labels = {node: int(bit) for node, bit in zip(self.graph.nodes, bits)}
         partition = Bipartition.from_labels(labels)
         cut_value = self._problem.cut_value(partition)
-        accuracy = min(1.0, cut_value / self._reference) if self._reference > 0 else 1.0
+        # Raw ratio, deliberately unclipped: against a heuristic reference
+        # (e.g. the King's striping cut) the machine can land above 1.0, and
+        # hiding that would overstate the reference.  Display code clips via
+        # repro.analysis.reporting.present_accuracy.
+        accuracy = cut_value / self._reference if self._reference > 0 else 1.0
         return ROIMCutResult(
             partition=partition, cut_value=cut_value, accuracy=accuracy, run_time=self.run_time
         )

@@ -31,6 +31,12 @@ Reproduce the paper's tables and figures (optionally scaled down)::
 Run the whole evaluation in one sharded, cached pass::
 
     msropm suite --scale 0.25 --workers 4 --cache-dir ~/.cache/msropm
+
+Inspect the workload zoo and run the scenario matrix across it::
+
+    msropm workloads list
+    msropm workloads show --family er
+    msropm scenarios --family er,regular,planar,dimacs --workers 4
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from repro.analysis.reporting import format_table
 from repro.core.config import MSROPMConfig
 from repro.experiments.fig3_waveforms import render_figure3, run_figure3
 from repro.experiments.fig5_accuracy import render_figure5, run_figure5
+from repro.experiments.scenario_matrix import SCENARIO_BASELINES, run_scenario_matrix
 from repro.experiments.suite import run_suite
 from repro.experiments.table1_stats import run_table1
 from repro.experiments.table2_comparison import run_table2
@@ -50,6 +57,7 @@ from repro.graphs.generators import kings_graph
 from repro.runtime.cache import default_cache_dir
 from repro.runtime.jobs import KingsGraphSpec, as_graph_spec
 from repro.runtime.runner import ExperimentRunner
+from repro.workloads import default_workload, family_names, get_family, iter_families
 
 
 def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
@@ -134,6 +142,35 @@ def build_parser() -> argparse.ArgumentParser:
     fig3.add_argument("--rows", type=int, default=4, help="board side length of the traced run")
     fig3.add_argument("--seed", type=int, default=7, help="RNG seed of the traced run")
 
+    workloads = subparsers.add_parser("workloads", help="inspect the workload zoo")
+    workloads_sub = workloads.add_subparsers(dest="workloads_command", required=True)
+    workloads_sub.add_parser("list", help="list the registered workload families")
+    show = workloads_sub.add_parser("show", help="expand one family's default workload")
+    show.add_argument("--family", required=True, help="registered family name (see 'workloads list')")
+    show.add_argument("--seed", type=int, default=2025, help="base seed of the instance seed policy")
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="run the MSROPM and the baselines across the workload zoo"
+    )
+    scenarios.add_argument(
+        "--family",
+        default=None,
+        help="comma-separated workload families (default: the whole zoo; "
+        f"registered: {', '.join(family_names())})",
+    )
+    scenarios.add_argument(
+        "--iterations", type=int, default=5, help="MSROPM/baseline iterations per instance"
+    )
+    scenarios.add_argument("--seed", type=int, default=2025, help="base RNG seed")
+    scenarios.add_argument(
+        "--baselines",
+        default=",".join(SCENARIO_BASELINES),
+        help="comma-separated baselines to run "
+        f"(subset of: {', '.join(SCENARIO_BASELINES)}; empty string skips all)",
+    )
+    scenarios.add_argument("--engine", **engine_kwargs)
+    add_runtime_arguments(scenarios)
+
     return parser
 
 
@@ -169,6 +206,85 @@ def _run_solve(args: argparse.Namespace) -> int:
     stats = runner.stats()
     if stats["cache_hits"]:
         print(f"(result served from cache: {stats['cache_hits']} hit(s))")
+    return 0
+
+
+def _run_workloads(args: argparse.Namespace) -> int:
+    if args.workloads_command == "list":
+        rows = [
+            [
+                family.name,
+                family.kind,
+                family.num_colors,
+                len(family.default_grid),
+                "yes" if family.seeded else "no",
+                family.description,
+            ]
+            for family in iter_families()
+        ]
+        print(
+            format_table(
+                ("Family", "Kind", "Colors", "Grid points", "Seeded", "Description"),
+                rows,
+                title="Workload zoo",
+            )
+        )
+        return 0
+    family = get_family(args.family)
+    instances = default_workload(family.name, base_seed=args.seed).expand()
+    rows = []
+    for instance in instances:
+        graph = instance.build()
+        reference = instance.reference(graph)
+        if reference.kind == "maxcut" and reference.reference_cut is not None:
+            reference_text = f"cut {reference.reference_cut:.0f}"
+        elif reference.colorable is None:
+            reference_text = "unknown"
+        elif reference.colorable:
+            reference_text = f"{instance.num_colors}-colorable"
+        else:
+            reference_text = f"not {instance.num_colors}-colorable"
+        rows.append(
+            [
+                instance.label,
+                ", ".join(f"{k}={v}" for k, v in instance.params) or "-",
+                instance.seed if instance.seed is not None else "-",
+                graph.num_nodes,
+                graph.num_edges,
+                f"{reference_text} ({reference.provider})",
+            ]
+        )
+    print(
+        format_table(
+            ("Instance", "Parameters", "Seed", "Nodes", "Edges", "Reference"),
+            rows,
+            title=f"Workload family '{family.name}': {family.description}",
+        )
+    )
+    return 0
+
+
+def _run_scenarios(args: argparse.Namespace) -> int:
+    families = [name.strip() for name in args.family.split(",") if name.strip()] if args.family else None
+    baselines = [name.strip() for name in args.baselines.split(",") if name.strip()]
+    runner = runner_from_args(args)
+    result = run_scenario_matrix(
+        families=families,
+        iterations=args.iterations,
+        seed=args.seed,
+        engine=args.engine,
+        runner=runner,
+        baselines=baselines,
+    )
+    print(result.render())
+    stats = result.runner_stats
+    # Worker count and wall time deliberately omitted: the scenarios output is
+    # byte-comparable between --workers 1 and --workers N.
+    print()
+    print(
+        f"scenarios: {len(result.rows)} instance(s), {stats['jobs_run']} job(s) solved, "
+        f"{stats['cache_hits']} cache hit(s), {stats['cache_stores']} store(s)"
+    )
     return 0
 
 
@@ -222,6 +338,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_figure3(rows=args.rows, cols=args.rows, seed=args.seed)
         print(render_figure3(result))
         return 0
+    if args.command == "workloads":
+        return _run_workloads(args)
+    if args.command == "scenarios":
+        return _run_scenarios(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

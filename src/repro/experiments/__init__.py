@@ -27,6 +27,13 @@ from repro.experiments.table1_stats import (
     run_table1,
 )
 from repro.experiments.table2_comparison import Table2Result, plan_table2_requests, run_table2
+from repro.experiments.scenario_matrix import (
+    SCENARIO_BASELINES,
+    ScenarioMatrixResult,
+    ScenarioRow,
+    plan_scenario_requests,
+    run_scenario_matrix,
+)
 from repro.experiments.suite import SuiteResult, plan_suite_requests, run_suite
 from repro.experiments.energy_landscape import (
     EnergyLandscapeResult,
@@ -72,6 +79,11 @@ __all__ = [
     "SuiteResult",
     "plan_suite_requests",
     "run_suite",
+    "SCENARIO_BASELINES",
+    "ScenarioMatrixResult",
+    "ScenarioRow",
+    "plan_scenario_requests",
+    "run_scenario_matrix",
     "MultiVsSingleStageResult",
     "run_coupling_ablation",
     "run_shil_ablation",

@@ -1,0 +1,356 @@
+"""Scenario matrix: MSROPM versus the baselines across the workload zoo.
+
+The paper's evaluation is King's-graphs-only; the scenario matrix is the
+breadth experiment: every instance of the workload registry
+(:mod:`repro.workloads`) is solved by the MSROPM **through the experiment
+runtime** — all instances submitted as one ``runner.solve_many`` batch, so
+the process pool shards the whole zoo and a warm cache skips it — and
+compared against the software/hardware baselines:
+
+* **SA** — simulated annealing (coloring or max-cut, by workload kind),
+* **Tabu** — TabuCol (coloring workloads),
+* **ROIM** — the single-binary-stage ring-oscillator Ising machine
+  (max-cut workloads),
+* **single-stage** — the single-stage N-SHIL ROPM (prior work [14]).
+
+Baselines run in the parent process with seeds derived stably from the
+scenario seed, so the full matrix is bit-identical between ``--workers 1``
+and ``--workers N`` and cache-hittable across invocations.
+
+Accuracies are *raw ratios*: coloring workloads report the fraction of
+properly colored edges; max-cut workloads report ``cut / reference_cut``,
+which can exceed 1.0 against heuristic references (the striping cut) and is
+only clipped — with a warning — at presentation time
+(:func:`repro.analysis.reporting.present_accuracy`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.analysis.reporting import (
+    FamilyAccuracySummary,
+    format_accuracy,
+    format_table,
+    summarize_accuracy_by_family,
+)
+from repro.core.config import MSROPMConfig
+from repro.core.results import SolveResult
+from repro.experiments.problems import default_config
+from repro.graphs.graph import Graph
+from repro.runtime.runner import ExperimentRunner, SolveRequest
+from repro.workloads.registry import (
+    ReferenceSolution,
+    WorkloadInstance,
+    derive_instance_seed,
+    expand_workloads,
+)
+
+#: Baselines the matrix can run, in display order.
+SCENARIO_BASELINES = ("sa", "tabu", "roim", "single_stage")
+
+
+@dataclass(frozen=True)
+class ScenarioRow:
+    """One instance of the matrix: the MSROPM numbers plus baseline accuracies.
+
+    ``baselines`` maps baseline name to its best raw accuracy ratio, or
+    ``None`` when the baseline does not apply to the workload kind (e.g.
+    TabuCol on a max-cut scenario).
+    """
+
+    family: str
+    label: str
+    kind: str
+    num_nodes: int
+    num_edges: int
+    num_colors: int
+    msropm_accuracies: Tuple[float, ...]
+    msropm_exact: int
+    baselines: Dict[str, Optional[float]]
+    reference: ReferenceSolution
+
+    @property
+    def msropm_best(self) -> float:
+        """Best MSROPM accuracy ratio across the iterations."""
+        return max(self.msropm_accuracies)
+
+    @property
+    def msropm_mean(self) -> float:
+        """Mean MSROPM accuracy ratio across the iterations."""
+        return float(np.mean(self.msropm_accuracies))
+
+
+@dataclass
+class ScenarioMatrixResult:
+    """Everything one scenario-matrix run produced."""
+
+    rows: List[ScenarioRow] = field(default_factory=list)
+    baseline_names: Tuple[str, ...] = SCENARIO_BASELINES
+    iterations: int = 0
+    runner_stats: Dict[str, int] = field(default_factory=dict)
+    workers: int = 1
+    wall_time_s: float = 0.0
+
+    def family_summary(self) -> List[FamilyAccuracySummary]:
+        """Per-family aggregation of the MSROPM accuracy ratios."""
+        return summarize_accuracy_by_family(
+            (row.family, row.msropm_accuracies) for row in self.rows
+        )
+
+    def render(self) -> str:
+        """Render the per-instance matrix and the per-family aggregation.
+
+        Deliberately free of wall-clock and worker-count text so the output is
+        byte-comparable across worker counts (the acceptance property).
+        """
+        baseline_headers = {
+            "sa": "SA best",
+            "tabu": "Tabu best",
+            "roim": "ROIM best",
+            "single_stage": "1-stage best",
+        }
+        headers = [
+            "Family",
+            "Instance",
+            "Kind",
+            "Nodes",
+            "Edges",
+            "Colors",
+            "MSROPM best",
+            "MSROPM mean",
+            "Exact",
+        ] + [baseline_headers.get(name, name) for name in self.baseline_names]
+        table_rows: List[List[object]] = []
+        for row in self.rows:
+            cells: List[object] = [
+                row.family,
+                row.label,
+                row.kind,
+                row.num_nodes,
+                row.num_edges,
+                row.num_colors,
+                format_accuracy(row.msropm_best, label=f"{row.label} MSROPM best"),
+                format_accuracy(row.msropm_mean, label=f"{row.label} MSROPM mean"),
+                row.msropm_exact if row.kind == "coloring" else "-",
+            ]
+            for name in self.baseline_names:
+                value = row.baselines.get(name)
+                cells.append(
+                    "-" if value is None else format_accuracy(value, label=f"{row.label} {name}")
+                )
+            table_rows.append(cells)
+        blocks = [
+            format_table(
+                headers,
+                table_rows,
+                title=f"Scenario matrix: MSROPM vs baselines ({self.iterations} iterations/instance)",
+            )
+        ]
+        summary_rows = [
+            [
+                item.family,
+                item.count,
+                format_accuracy(item.mean_accuracy, label=f"{item.family} mean"),
+                format_accuracy(item.best_accuracy, label=f"{item.family} best"),
+            ]
+            for item in self.family_summary()
+        ]
+        blocks.append(
+            format_table(
+                ("Family", "Instances", "MSROPM mean", "MSROPM best"),
+                summary_rows,
+                title="Per-family MSROPM accuracy",
+            )
+        )
+        return "\n\n".join(blocks)
+
+
+def _solve_seed(seed: int, instance: WorkloadInstance) -> int:
+    """Stable per-instance solve seed (content-derived, process-independent)."""
+    return derive_instance_seed(seed, f"solve:{instance.family}:{instance.label}", 0, 0)
+
+
+def _baseline_seed(seed: int, baseline: str, instance: WorkloadInstance) -> int:
+    """Stable per-(baseline, instance) seed, decorrelated from the solve seed."""
+    return derive_instance_seed(seed, f"{baseline}:{instance.family}:{instance.label}", 0, 0)
+
+
+def _cut_ratio(edge_fraction: float, num_edges: int, reference_cut: Optional[float]) -> float:
+    """Rescale a properly-cut-edge fraction to the raw ``cut / reference`` ratio.
+
+    A 2-coloring's accuracy is the fraction of bichromatic (= cut) edges, so
+    ``fraction * num_edges`` is the cut value on unit-weight graphs.
+    """
+    if reference_cut is None or reference_cut <= 0:
+        return float(edge_fraction)
+    return float(edge_fraction * num_edges / reference_cut)
+
+
+def plan_scenario_requests(
+    instances: Sequence[WorkloadInstance],
+    iterations: int = 5,
+    seed: int = 2025,
+    config: Optional[MSROPMConfig] = None,
+    engine: Optional[str] = None,
+) -> List[SolveRequest]:
+    """The runtime solve requests of the matrix: one MSROPM solve per instance.
+
+    The per-instance config only overrides ``num_colors`` (4 for coloring
+    workloads, 2 for max-cut scenarios), so jobs stay hash-stable and a
+    suite-style warm pass addresses the same cache entries.
+    """
+    if iterations < 1:
+        raise ConfigurationError("iterations must be at least 1")
+    base = config or default_config(seed)
+    if engine is not None:
+        base = base.with_updates(engine=engine)
+    return [
+        SolveRequest(
+            spec=instance.spec,
+            config=base.with_updates(num_colors=instance.num_colors),
+            iterations=iterations,
+            seed=_solve_seed(seed, instance),
+        )
+        for instance in instances
+    ]
+
+
+def _run_baseline(
+    name: str,
+    instance: WorkloadInstance,
+    graph: Graph,
+    reference: ReferenceSolution,
+    config: MSROPMConfig,
+    iterations: int,
+    seed: int,
+) -> Optional[float]:
+    """Run one baseline on one instance; ``None`` when it does not apply.
+
+    Every baseline gets the same ``iterations`` budget as the MSROPM and
+    reports its best run, so the matrix compares best-of-N against best-of-N.
+    """
+    from repro.rng import iteration_seeds
+
+    bseed = _baseline_seed(seed, name, instance)
+    run_seeds = iteration_seeds(bseed, iterations)
+    if instance.kind == "coloring":
+        if name == "sa":
+            from repro.baselines.simulated_annealing import anneal_coloring
+
+            return max(
+                anneal_coloring(graph, instance.num_colors, seed=s).accuracy(graph)
+                for s in run_seeds
+            )
+        if name == "tabu":
+            from repro.baselines.tabu import tabucol
+
+            return max(
+                tabucol(graph, instance.num_colors, seed=s).accuracy(graph)
+                for s in run_seeds
+            )
+        if name == "single_stage":
+            from repro.baselines.single_stage_ropm import SingleStageROPM
+
+            machine = SingleStageROPM(graph, num_colors=instance.num_colors, config=config)
+            return float(machine.solve(iterations=iterations, seed=bseed).best_accuracy)
+        return None  # ROIM solves max-cut, not coloring
+    # ------------------------------------------------------------ max-cut kind
+    reference_cut = reference.reference_cut
+    if name == "sa":
+        from repro.baselines.simulated_annealing import anneal_maxcut
+        from repro.ising.maxcut import MaxCutProblem
+
+        problem = MaxCutProblem(graph)
+        return max(
+            problem.accuracy(anneal_maxcut(problem, seed=s), reference_cut=reference_cut)
+            for s in run_seeds
+        )
+    if name == "roim":
+        from repro.baselines.roim_maxcut import ROIMMaxCut
+
+        roim = ROIMMaxCut(graph, config=config, reference_cut=reference_cut)
+        return float(roim.best_of(iterations=iterations, seed=bseed).accuracy)
+    if name == "single_stage":
+        from repro.baselines.single_stage_ropm import SingleStageROPM
+
+        machine = SingleStageROPM(graph, num_colors=instance.num_colors, config=config)
+        best = float(machine.solve(iterations=iterations, seed=bseed).best_accuracy)
+        return _cut_ratio(best, graph.num_edges, reference_cut)
+    return None  # TabuCol colors, it does not cut
+
+
+def run_scenario_matrix(
+    families: Optional[Sequence[str]] = None,
+    iterations: int = 5,
+    seed: int = 2025,
+    config: Optional[MSROPMConfig] = None,
+    engine: Optional[str] = None,
+    runner: Optional[ExperimentRunner] = None,
+    baselines: Sequence[str] = SCENARIO_BASELINES,
+) -> ScenarioMatrixResult:
+    """Run the MSROPM and the baselines across the zoo's workload instances.
+
+    ``families`` selects registry families (``None`` = all); ``runner``
+    supplies the execution runtime for the MSROPM solves (``None`` = serial,
+    uncached).  Per seed the matrix is bit-identical regardless of the
+    runner's worker count, and a cache-backed runner resolves warm reruns
+    without a single solve.
+    """
+    for name in baselines:
+        if name not in SCENARIO_BASELINES:
+            raise ConfigurationError(
+                f"unknown baseline {name!r}; available: {', '.join(SCENARIO_BASELINES)}"
+            )
+    runner = runner or ExperimentRunner()
+    start = time.perf_counter()
+    instances = expand_workloads(families, base_seed=seed)
+    requests = plan_scenario_requests(
+        instances, iterations=iterations, seed=seed, config=config, engine=engine
+    )
+    solves: List[SolveResult] = runner.solve_many(requests)
+
+    rows: List[ScenarioRow] = []
+    for instance, request, solve in zip(instances, requests, solves):
+        graph = instance.build()
+        reference = instance.reference(graph)
+        if instance.kind == "maxcut":
+            accuracies = tuple(
+                _cut_ratio(value, graph.num_edges, reference.reference_cut)
+                for value in solve.accuracies
+            )
+        else:
+            accuracies = tuple(float(value) for value in solve.accuracies)
+        baseline_values = {
+            name: _run_baseline(
+                name, instance, graph, reference, request.config, iterations, seed
+            )
+            for name in baselines
+        }
+        rows.append(
+            ScenarioRow(
+                family=instance.family,
+                label=instance.label,
+                kind=instance.kind,
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+                num_colors=instance.num_colors,
+                msropm_accuracies=accuracies,
+                msropm_exact=solve.num_exact_solutions,
+                baselines=baseline_values,
+                reference=reference,
+            )
+        )
+    return ScenarioMatrixResult(
+        rows=rows,
+        baseline_names=tuple(baselines),
+        iterations=iterations,
+        runner_stats=runner.stats(),
+        workers=runner.workers,
+        wall_time_s=time.perf_counter() - start,
+    )

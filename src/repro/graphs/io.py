@@ -41,8 +41,25 @@ def to_dimacs(graph: Graph, comment: str = "") -> str:
     return "\n".join(lines) + "\n"
 
 
+def _dimacs_int(token: str, what: str, line_number: int, raw: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise GraphError(
+            f"non-integer {what} {token!r} at line {line_number}: {raw!r}"
+        ) from None
+
+
 def from_dimacs(text: str, name: str = "") -> Graph:
-    """Parse a DIMACS ``.col`` document into a :class:`Graph`."""
+    """Parse a DIMACS ``.col`` document into a :class:`Graph`.
+
+    The parser validates the document against its own ``p edge N M`` header:
+    edge records must follow the header, endpoints must lie in ``1..N``, and
+    the edge count must not exceed ``M``.  Violations raise :class:`GraphError`
+    carrying the offending line number.  Self loops are dropped and duplicate
+    edges are collapsed (both occur in published instances); neither counts
+    toward the node/edge bounds a second time.
+    """
     graph = Graph(name=name)
     declared_nodes: Optional[int] = None
     declared_edges: Optional[int] = None
@@ -52,16 +69,29 @@ def from_dimacs(text: str, name: str = "") -> Graph:
             continue
         parts = line.split()
         if parts[0] == "p":
+            if declared_nodes is not None:
+                raise GraphError(f"duplicate problem line at line {line_number}: {raw!r}")
             if len(parts) != 4 or parts[1] not in ("edge", "edges", "col"):
                 raise GraphError(f"malformed problem line at {line_number}: {raw!r}")
-            declared_nodes = int(parts[2])
-            declared_edges = int(parts[3])
+            declared_nodes = _dimacs_int(parts[2], "node count", line_number, raw)
+            declared_edges = _dimacs_int(parts[3], "edge count", line_number, raw)
+            if declared_nodes < 0 or declared_edges < 0:
+                raise GraphError(f"negative size in problem line at {line_number}: {raw!r}")
             for node in range(1, declared_nodes + 1):
                 graph.add_node(node)
         elif parts[0] == "e":
+            if declared_nodes is None:
+                raise GraphError(
+                    f"edge record before the problem line at line {line_number}: {raw!r}"
+                )
             if len(parts) < 3:
                 raise GraphError(f"malformed edge line at {line_number}: {raw!r}")
-            u, v = int(parts[1]), int(parts[2])
+            u = _dimacs_int(parts[1], "edge endpoint", line_number, raw)
+            v = _dimacs_int(parts[2], "edge endpoint", line_number, raw)
+            if not (1 <= u <= declared_nodes and 1 <= v <= declared_nodes):
+                raise GraphError(
+                    f"edge endpoint outside 1..{declared_nodes} at line {line_number}: {raw!r}"
+                )
             if u == v:
                 continue  # silently drop self loops found in some instances
             if not graph.has_edge(u, v):

@@ -76,15 +76,18 @@ class MaxCutProblem:
         return IsingProblem(graph=self.graph, couplings=couplings, default_coupling=strength)
 
     def accuracy(self, partition: Bipartition, reference_cut: Optional[float] = None) -> float:
-        """Return ``cut / reference_cut`` (clipped to [0, 1]).
+        """Return the raw ratio ``cut / reference_cut`` (may exceed 1.0).
 
         When ``reference_cut`` is omitted the total edge weight is used, which
-        is exact for bipartite graphs and a safe upper bound otherwise.
+        is exact for bipartite graphs and a safe upper bound otherwise.  When a
+        heuristic reference is supplied, a better-than-reference cut yields a
+        ratio above 1.0 — it is reported as-is so callers can see it; display
+        code clips via :func:`repro.analysis.reporting.present_accuracy`.
         """
         reference = reference_cut if reference_cut is not None else self.total_weight()
         if reference <= 0:
             return 1.0
-        return float(min(1.0, self.cut_value(partition) / reference))
+        return float(self.cut_value(partition) / reference)
 
 
 def cut_from_ising_energy(problem: MaxCutProblem, energy: float, strength: float = 1.0) -> float:

@@ -15,6 +15,7 @@ from repro.runtime.jobs import (
     JOB_SCHEMA_VERSION,
     DimacsGraphSpec,
     ExplicitGraphSpec,
+    GeneratedGraphSpec,
     GraphSpec,
     KingsGraphSpec,
     SolveJob,
@@ -29,6 +30,7 @@ __all__ = [
     "JOB_SCHEMA_VERSION",
     "DimacsGraphSpec",
     "ExplicitGraphSpec",
+    "GeneratedGraphSpec",
     "GraphSpec",
     "KingsGraphSpec",
     "SolveJob",

@@ -15,8 +15,9 @@ rest of the runtime possible:
 
 Graphs are carried as :class:`GraphSpec` descriptions rather than instances so
 a job stays small on the wire and content-addressable: a King's board by its
-shape, a DIMACS ``.col`` file by the SHA-256 of its text, an explicit graph by
-the SHA-256 of its canonical JSON form.
+shape, a DIMACS ``.col`` file by the SHA-256 of its text, a generated ensemble
+member by its recipe (workload family + parameters + seed), an explicit graph
+by the SHA-256 of its canonical JSON form.
 """
 
 from __future__ import annotations
@@ -68,6 +69,16 @@ class GraphSpec(ABC):
     def label(self) -> str:
         """Short human-readable name for logs and reports."""
 
+    @property
+    def deterministic(self) -> bool:
+        """Whether :meth:`build` always materializes the same graph.
+
+        ``True`` for every content-addressed spec; a generated-ensemble spec
+        without a fixed seed overrides this, which makes its jobs uncacheable
+        (see :attr:`SolveJob.cacheable`).
+        """
+        return True
+
 
 @dataclass(frozen=True)
 class KingsGraphSpec(GraphSpec):
@@ -87,6 +98,55 @@ class KingsGraphSpec(GraphSpec):
     @property
     def label(self) -> str:
         return f"kings-{self.rows}x{self.cols}"
+
+
+@dataclass(frozen=True)
+class GeneratedGraphSpec(GraphSpec):
+    """A graph drawn from a registered generator family, addressed by recipe.
+
+    The content identity is the *recipe* — family name, sorted parameters and
+    generator seed — never the materialized adjacency, so the hash is stable
+    across processes and independent of in-memory node order or generator
+    implementation details like insertion order.  :meth:`build` dispatches
+    through the workload registry (:mod:`repro.workloads`), which is also what
+    makes the spec picklable at a few dozen bytes regardless of graph size.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so the spec stays
+    hashable; use :meth:`create` to build one from keyword arguments.
+    """
+
+    family: str
+    params: tuple
+    seed: Optional[int] = None
+
+    @classmethod
+    def create(cls, family: str, seed: Optional[int] = None, **params) -> "GeneratedGraphSpec":
+        """Build a spec from keyword parameters (sorted canonically)."""
+        return cls(family=family, params=tuple(sorted(params.items())), seed=seed)
+
+    def build(self) -> Graph:
+        from repro.workloads.registry import build_family_graph
+
+        return build_family_graph(self.family, dict(self.params), self.seed)
+
+    def fingerprint(self) -> Dict:
+        return {
+            "kind": "generated",
+            "family": self.family,
+            "params": dict(self.params),
+            "seed": self.seed,
+        }
+
+    @property
+    def label(self) -> str:
+        parts = "-".join(f"{name}{value}" for name, value in self.params)
+        suffix = "" if self.seed is None else f"-s{self.seed}"
+        return f"{self.family}-{parts}{suffix}" if parts else f"{self.family}{suffix}"
+
+    @property
+    def deterministic(self) -> bool:
+        """A generated ensemble member is reproducible only under a fixed seed."""
+        return self.seed is not None
 
 
 class DimacsGraphSpec(GraphSpec):
@@ -241,10 +301,14 @@ class SolveJob:
     def cacheable(self) -> bool:
         """Whether this job's results are deterministic (safe to cache).
 
-        A job is reproducible only when the solve seed is fixed and, if the
-        machine draws static frequency detuning, the config seed is fixed too.
+        A job is reproducible only when the solve seed is fixed, the graph
+        spec builds deterministically (generated ensembles need their own
+        seed), and, if the machine draws static frequency detuning, the config
+        seed is fixed too.
         """
         if self.seed is None:
+            return False
+        if not self.spec.deterministic:
             return False
         if self.config.frequency_detuning_std > 0 and self.config.seed is None:
             return False

@@ -60,6 +60,13 @@ class JobScheduler:
             return []
         if self.workers == 1 or len(jobs) == 1:
             return [solve_result_from_dict(_execute_job(job)) for job in jobs]
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(jobs))) as pool:
-            payloads = pool.map(_execute_job, jobs)
+        workers = min(self.workers, len(jobs))
+        # Without an explicit chunksize, pool.map ships jobs one at a time and
+        # a scenario matrix of many small jobs serializes on IPC round-trips.
+        # Target ~4 chunks per worker: big enough to amortize pickling, small
+        # enough to balance uneven job costs.  map() returns results in
+        # submission order regardless of chunking, preserving determinism.
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            payloads = pool.map(_execute_job, jobs, chunksize=chunksize)
             return [solve_result_from_dict(payload) for payload in payloads]

@@ -133,3 +133,56 @@ class TestRuntimeFlags:
         assert "Table 1" in captured
         assert "Figure 5(a)" in captured
         assert "suite finished" in captured
+
+
+class TestWorkloadsCommands:
+    def test_workloads_list(self, capsys):
+        exit_code = main(["workloads", "list"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Workload zoo" in captured
+        for family in ("kings", "er", "regular", "planar", "dimacs", "maxcut"):
+            assert family in captured
+
+    def test_workloads_show_requires_family(self):
+        with pytest.raises(SystemExit):
+            main(["workloads", "show"])
+
+    def test_workloads_show_expands_instances(self, capsys):
+        exit_code = main(["workloads", "show", "--family", "dimacs"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "myciel3" in captured and "myciel4" in captured
+        assert "not 4-colorable" in captured  # myciel4's known chromatic number is 5
+
+    def test_scenarios_smoke_on_dimacs(self, capsys):
+        exit_code = main(
+            ["scenarios", "--family", "dimacs", "--iterations", "2", "--seed", "3",
+             "--baselines", "sa", "--no-cache"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Scenario matrix" in captured
+        assert "Per-family MSROPM accuracy" in captured
+        assert "2 instance(s)" in captured
+
+    def test_scenarios_workers_match_serial_output(self, capsys):
+        """Acceptance: scenarios --workers 2 prints byte-identical results."""
+        base = ["scenarios", "--family", "er,dimacs", "--iterations", "2", "--seed", "5",
+                "--baselines", "sa", "--no-cache"]
+        main(base + ["--workers", "1"])
+        serial_out = capsys.readouterr().out
+        main(base + ["--workers", "2"])
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+
+    def test_scenarios_warm_cache_rerun(self, capsys, tmp_path):
+        base = ["scenarios", "--family", "dimacs", "--iterations", "2", "--seed", "6",
+                "--baselines", "", "--cache-dir", str(tmp_path)]
+        main(base)
+        cold_out = capsys.readouterr().out
+        main(base)
+        warm_out = capsys.readouterr().out
+        assert "2 job(s) solved, 0 cache hit(s)" in cold_out
+        assert "0 job(s) solved, 2 cache hit(s)" in warm_out
+        assert cold_out.split("scenarios:")[0] == warm_out.split("scenarios:")[0]

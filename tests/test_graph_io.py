@@ -54,6 +54,40 @@ class TestDimacs:
         with pytest.raises(GraphError):
             from_dimacs("p edge 3 1\ne 1 2\ne 2 3\n")
 
+    def test_parse_rejects_out_of_range_endpoints(self):
+        # Historically "p edge 3 2\ne 2 9" silently grew the graph to 4+ nodes.
+        with pytest.raises(GraphError, match="outside 1..3.*line 2"):
+            from_dimacs("p edge 3 2\ne 2 9\n")
+        with pytest.raises(GraphError, match="outside"):
+            from_dimacs("p edge 3 2\ne 0 2\n")
+        with pytest.raises(GraphError, match="outside"):
+            from_dimacs("p edge 3 2\ne -1 2\n")
+
+    def test_parse_rejects_edges_before_header(self):
+        with pytest.raises(GraphError, match="before the problem line at line 2"):
+            from_dimacs("c comment\ne 1 2\np edge 3 2\n")
+
+    def test_parse_rejects_duplicate_problem_line(self):
+        with pytest.raises(GraphError, match="duplicate problem line at line 2"):
+            from_dimacs("p edge 2 1\np edge 3 2\ne 1 2\n")
+
+    def test_parse_rejects_non_integer_tokens(self):
+        with pytest.raises(GraphError, match="non-integer.*line 2"):
+            from_dimacs("p edge 3 3\ne one 2\n")
+        with pytest.raises(GraphError, match="non-integer"):
+            from_dimacs("p edge x 3\n")
+
+    def test_parse_collapses_duplicate_edges(self):
+        graph = from_dimacs("p edge 3 4\ne 1 2\ne 2 1\ne 1 2\ne 2 3\n")
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_declared_node_count_is_authoritative(self):
+        # Isolated trailing nodes must exist even with no incident edges.
+        graph = from_dimacs("p edge 5 1\ne 1 2\n")
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 1
+
     def test_file_round_trip(self, tmp_path):
         graph = kings_graph(3, 4)
         path = tmp_path / "graph.col"

@@ -68,11 +68,31 @@ class TestMaxCut:
         assert energy == pytest.approx(problem.total_weight() - 2 * cut)
         assert cut_from_ising_energy(problem, energy) == pytest.approx(cut)
 
-    def test_accuracy_clipped(self):
+    def test_accuracy_reports_raw_ratio_beyond_reference(self):
+        # A cut that beats a heuristic reference must be visible as > 1.0;
+        # clipping happens only at the presentation layer.
         graph = cycle_graph(4)
         problem = MaxCutProblem(graph)
         partition = Bipartition.from_sets([0, 2], [1, 3])
-        assert problem.accuracy(partition, reference_cut=2) == 1.0
+        assert problem.accuracy(partition, reference_cut=2) == 2.0
+        assert problem.accuracy(partition) == 1.0  # total-weight reference
+
+    def test_presentation_layer_clips_with_warning(self):
+        from repro.analysis.reporting import format_accuracy, present_accuracy
+
+        with pytest.warns(UserWarning, match="better-than-reference"):
+            assert present_accuracy(2.0) == 1.0
+        with pytest.warns(UserWarning):
+            assert format_accuracy(1.25) == "1.000"
+        assert present_accuracy(0.75) == 0.75
+        assert present_accuracy(-0.5) == 0.0
+
+    def test_accuracy_range_text_clips_raw_ratios(self):
+        from repro.analysis.comparison import accuracy_range_text
+
+        with pytest.warns(UserWarning, match="better-than-reference"):
+            assert accuracy_range_text(0.9, 1.1) == "90%-100%"
+        assert accuracy_range_text(0.5, 1.0) == "50%-100%"
 
     def test_local_improvement_never_decreases_cut(self):
         graph = kings_graph(4, 4)

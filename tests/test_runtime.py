@@ -286,6 +286,30 @@ class TestSchedulerAndRunner:
     def test_scheduler_empty_batch(self):
         assert JobScheduler(workers=2).run([]) == []
 
+    def test_chunked_map_preserves_submission_order(self, fast_config):
+        """Many small jobs are shipped in chunks (chunksize > 1); results must
+        still come back in submission order, matching each job's problem."""
+        base_shapes = [(4, 4), (4, 5), (5, 4), (5, 5), (4, 6), (6, 4)]
+        shapes = [base_shapes[index % len(base_shapes)] for index in range(17)]
+        jobs = [
+            SolveJob(
+                spec=KingsGraphSpec(rows, cols),
+                config=fast_config,
+                seed=100 + index,
+                total_iterations=1,
+            )
+            for index, (rows, cols) in enumerate(shapes)
+        ]
+        # With 2 workers and 17 jobs the derived chunksize is 17 // 8 = 2, so
+        # this exercises the chunked path, not one-job-at-a-time dispatch.
+        assert len(jobs) // (2 * 4) > 1
+        results = JobScheduler(workers=2).run(jobs)
+        serial = JobScheduler(workers=1).run(jobs)
+        for (rows, cols), job, result, reference in zip(shapes, jobs, results, serial):
+            assert result.graph.num_nodes == rows * cols
+            assert [i.seed for i in result.iterations] == [i.seed for i in reference.iterations]
+            assert np.array_equal(result.accuracies, reference.accuracies)
+
 
 class TestSweepThroughRuntime:
     def test_parallel_sweep_matches_serial(self, fast_config, small_grid):
