@@ -4,9 +4,15 @@ Times the scaled evaluation suite (Tables 1-2 + Fig. 5) three ways — serial,
 through a 2-worker process pool, and again against a warm result cache — and
 writes the measurements to ``BENCH_runtime.json`` so CI tracks the runtime's
 speedup trajectory.  Results are asserted bit-identical across all three
-paths; the speedup itself is only asserted on machines that can actually
-parallelize (>= 2 CPUs), since a single-core runner measures pure pool
-overhead.
+paths.
+
+The serial-vs-parallel *speedup* is only meaningful when the machine has at
+least as many CPUs as workers; on an under-provisioned box the pool measures
+pure dispatch overhead, not parallelism.  The payload therefore records the
+CPU count, the multiprocessing start method and the worker thread caps, and
+publishes ``parallel_speedup: null`` plus an explanatory
+``parallel_comparison`` flag instead of a misleading sub-1.0 "speedup" when
+``cpu_count < workers``.
 
 Environment knobs:
 
@@ -52,12 +58,13 @@ def test_bench_runtime_suite(tmp_path):
     cache_dir = tmp_path / "cache"
 
     serial_result, serial_s = _timed_suite(ExperimentRunner(workers=1))
-    parallel_result, parallel_s = _timed_suite(
-        ExperimentRunner(workers=BENCH_WORKERS, cache_dir=cache_dir)
-    )
-    warm_result, warm_s = _timed_suite(
-        ExperimentRunner(workers=BENCH_WORKERS, cache_dir=cache_dir)
-    )
+    with ExperimentRunner(workers=BENCH_WORKERS, cache_dir=cache_dir) as parallel_runner:
+        parallel_result, parallel_s = _timed_suite(parallel_runner)
+        scheduler = parallel_runner.scheduler
+        start_method = scheduler.start_method
+        thread_caps = dict(scheduler.thread_caps)
+    with ExperimentRunner(workers=BENCH_WORKERS, cache_dir=cache_dir) as warm_runner:
+        warm_result, warm_s = _timed_suite(warm_runner)
 
     # Correctness first: all three paths report identical numbers per seed.
     assert _fingerprint(serial_result) == _fingerprint(parallel_result)
@@ -65,6 +72,8 @@ def test_bench_runtime_suite(tmp_path):
     # The warm rerun must not solve anything.
     assert warm_result.runner_stats["jobs_run"] == 0
 
+    cpu_count = os.cpu_count() or 1
+    parallel_valid = cpu_count >= BENCH_WORKERS
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     cache_speedup = serial_s / warm_s if warm_s > 0 else float("inf")
     payload = {
@@ -72,11 +81,22 @@ def test_bench_runtime_suite(tmp_path):
         "scale": BENCH_SCALE,
         "iterations": BENCH_ITERATIONS,
         "workers": BENCH_WORKERS,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "start_method": start_method,
+        "worker_thread_caps": thread_caps,
         "serial_s": round(serial_s, 4),
         "parallel_s": round(parallel_s, 4),
         "warm_cache_s": round(warm_s, 4),
-        "parallel_speedup": round(speedup, 3),
+        # A sub-1.0 "speedup" measured on a box with fewer CPUs than workers
+        # is pool overhead, not a parallelism regression: publish null plus an
+        # explanation instead of a misleading number.
+        "parallel_speedup": round(speedup, 3) if parallel_valid else None,
+        "parallel_comparison": (
+            "ok"
+            if parallel_valid
+            else f"skipped: cpu_count ({cpu_count}) < workers ({BENCH_WORKERS}); "
+            "pool timing measures dispatch overhead, not parallel speedup"
+        ),
         "warm_cache_speedup": round(cache_speedup, 3),
         "jobs_solved_serial": serial_result.runner_stats["jobs_run"],
         "jobs_solved_warm": warm_result.runner_stats["jobs_run"],
@@ -84,12 +104,13 @@ def test_bench_runtime_suite(tmp_path):
     BENCH_OUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(
         f"\nruntime suite @ scale {BENCH_SCALE}: serial {serial_s:.2f}s, "
-        f"{BENCH_WORKERS}-worker {parallel_s:.2f}s ({speedup:.2f}x), "
+        f"{BENCH_WORKERS}-worker {parallel_s:.2f}s "
+        f"({speedup:.2f}x, {payload['parallel_comparison']}), "
         f"warm cache {warm_s:.2f}s ({cache_speedup:.2f}x) -> {BENCH_OUT}"
     )
 
     # A warm cache must beat re-solving by a wide margin at any scale.
     assert warm_s < serial_s
     # Pool speedup is only meaningful with real cores to spread across.
-    if (os.cpu_count() or 1) >= 2 * BENCH_WORKERS:
+    if cpu_count >= 2 * BENCH_WORKERS:
         assert speedup >= 1.2

@@ -186,8 +186,9 @@ def _run_solve(args: argparse.Namespace) -> int:
         spec = KingsGraphSpec(args.rows, args.rows)
         title_name = f"{graph.num_nodes}-node King's graph"
     config = MSROPMConfig(num_colors=args.colors, seed=args.seed, engine=args.engine)
-    runner = runner_from_args(args)
-    result = runner.solve(spec, config, iterations=args.iterations, seed=args.seed)
+    with runner_from_args(args) as runner:
+        result = runner.solve(spec, config, iterations=args.iterations, seed=args.seed)
+        stats = runner.stats()
     rows = [
         [item.iteration_index, f"{item.stage1_accuracy:.3f}", f"{item.accuracy:.3f}", item.is_exact]
         for item in result.iterations
@@ -203,7 +204,6 @@ def _run_solve(args: argparse.Namespace) -> int:
     print(f"best accuracy:  {result.best_accuracy:.3f}")
     print(f"mean accuracy:  {result.accuracies.mean():.3f}")
     print(f"exact solutions: {result.num_exact_solutions}/{result.num_iterations}")
-    stats = runner.stats()
     if stats["cache_hits"]:
         print(f"(result served from cache: {stats['cache_hits']} hit(s))")
     return 0
@@ -267,15 +267,15 @@ def _run_workloads(args: argparse.Namespace) -> int:
 def _run_scenarios(args: argparse.Namespace) -> int:
     families = [name.strip() for name in args.family.split(",") if name.strip()] if args.family else None
     baselines = [name.strip() for name in args.baselines.split(",") if name.strip()]
-    runner = runner_from_args(args)
-    result = run_scenario_matrix(
-        families=families,
-        iterations=args.iterations,
-        seed=args.seed,
-        engine=args.engine,
-        runner=runner,
-        baselines=baselines,
-    )
+    with runner_from_args(args) as runner:
+        result = run_scenario_matrix(
+            families=families,
+            iterations=args.iterations,
+            seed=args.seed,
+            engine=args.engine,
+            runner=runner,
+            baselines=baselines,
+        )
     print(result.render())
     stats = result.runner_stats
     # Worker count and wall time deliberately omitted: the scenarios output is
@@ -295,43 +295,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "solve":
         return _run_solve(args)
     if args.command == "table1":
-        result = run_table1(
-            scale=args.scale,
-            iterations=args.iterations,
-            seed=args.seed,
-            engine=args.engine,
-            runner=runner_from_args(args),
-        )
+        with runner_from_args(args) as runner:
+            result = run_table1(
+                scale=args.scale,
+                iterations=args.iterations,
+                seed=args.seed,
+                engine=args.engine,
+                runner=runner,
+            )
         print(result.render())
         return 0
     if args.command == "table2":
-        result = run_table2(
-            scale=args.scale,
-            iterations=args.iterations,
-            seed=args.seed,
-            engine=args.engine,
-            runner=runner_from_args(args),
-        )
+        with runner_from_args(args) as runner:
+            result = run_table2(
+                scale=args.scale,
+                iterations=args.iterations,
+                seed=args.seed,
+                engine=args.engine,
+                runner=runner,
+            )
         print(result.render())
         return 0
     if args.command == "fig5":
-        result = run_figure5(
-            scale=args.scale,
-            iterations=args.iterations,
-            seed=args.seed,
-            engine=args.engine,
-            runner=runner_from_args(args),
-        )
+        with runner_from_args(args) as runner:
+            result = run_figure5(
+                scale=args.scale,
+                iterations=args.iterations,
+                seed=args.seed,
+                engine=args.engine,
+                runner=runner,
+            )
         print(render_figure5(result))
         return 0
     if args.command == "suite":
-        result = run_suite(
-            scale=args.scale,
-            iterations=args.iterations,
-            seed=args.seed,
-            engine=args.engine,
-            runner=runner_from_args(args),
-        )
+        with runner_from_args(args) as runner:
+            result = run_suite(
+                scale=args.scale,
+                iterations=args.iterations,
+                seed=args.seed,
+                engine=args.engine,
+                runner=runner,
+            )
         print(result.render())
         return 0
     if args.command == "fig3":

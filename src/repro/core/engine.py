@@ -33,7 +33,6 @@ from repro.exceptions import ConfigurationError
 from repro.core.config import MSROPMConfig
 from repro.core.metrics import coloring_accuracy
 from repro.core.results import IterationResult, StageResult
-from repro.core.stages import StageExecutor
 from repro.dynamics.noise import perturbed_phases, random_initial_phases
 from repro.graphs.graph import Graph
 from repro.rng import ReplicaRNG, make_rng
@@ -128,17 +127,28 @@ class BatchedEngine(SolverEngine):
     coupling_backend:
         ``"sparse"``, ``"dense"``, or ``"auto"``; ``None`` (default) defers to
         the machine's ``MSROPMConfig.coupling_backend``.
+    fast_path:
+        ``True`` (default) runs the precompiled hot path: the machine's
+        cached :class:`StageExecutor` (coupling plans, direct kernels,
+        final-state integration) plus replica-vectorized stage scoring and
+        coloring accuracies.  ``False`` replays the pre-overhaul engine body
+        — per-stage operator construction, recorded trajectories, per-replica
+        Python scoring — which is the reference the fast path is proven
+        bit-identical against and the baseline the hot-path benchmark times.
     """
 
     name = "batched"
 
-    def __init__(self, coupling_backend: Optional[str] = None) -> None:
+    def __init__(
+        self, coupling_backend: Optional[str] = None, fast_path: bool = True
+    ) -> None:
         if coupling_backend is not None and coupling_backend not in MSROPMConfig.COUPLING_BACKENDS:
             raise ConfigurationError(
                 f"coupling_backend must be one of {MSROPMConfig.COUPLING_BACKENDS}, "
                 f"got {coupling_backend!r}"
             )
         self.coupling_backend = coupling_backend
+        self.fast_path = fast_path
 
     def run(self, machine: "MSROPM", seeds: Sequence[Optional[int]]) -> List[IterationResult]:
         config = machine.config
@@ -148,13 +158,7 @@ class BatchedEngine(SolverEngine):
             self.coupling_backend or config.coupling_backend, machine.graph
         )
         rng = ReplicaRNG([make_rng(seed) for seed in seeds])
-        executor = StageExecutor(
-            config=config,
-            edge_index=machine._edge_index,
-            num_oscillators=num,
-            frequency_detuning=machine._frequency_detuning,
-            coupling_backend=backend,
-        )
+        executor = machine.batched_executor(backend, fast_path=self.fast_path)
 
         phases = random_initial_phases(num, rng)  # (R, N)
         group_values = np.zeros((num_replicas, num), dtype=int)
@@ -173,12 +177,21 @@ class BatchedEngine(SolverEngine):
                 + config.timing.annealing
                 + config.timing.shil_settling
             )
-            for replica in range(num_replicas):
-                stage_records[replica].append(
-                    machine._score_stage(stage_index, bits[replica], group_values[replica])
-                )
+            if self.fast_path:
+                for replica, record in enumerate(
+                    machine._score_stage_batch(stage_index, bits, group_values)
+                ):
+                    stage_records[replica].append(record)
+            else:
+                for replica in range(num_replicas):
+                    stage_records[replica].append(
+                        machine._score_stage(stage_index, bits[replica], group_values[replica])
+                    )
             group_values = group_values + bits * (2 ** (stage_index - 1))
 
+        accuracies: Optional[List[float]] = None
+        if self.fast_path:
+            accuracies = machine._batch_coloring_accuracies(group_values)
         results: List[IterationResult] = []
         for replica in range(num_replicas):
             stage_results = stage_records[replica]
@@ -191,7 +204,11 @@ class BatchedEngine(SolverEngine):
                     iteration_index=replica,
                     seed=int(seed) if seed is not None else -1,
                     coloring=coloring,
-                    accuracy=coloring_accuracy(machine.graph, coloring),
+                    accuracy=(
+                        accuracies[replica]
+                        if accuracies is not None
+                        else coloring_accuracy(machine.graph, coloring)
+                    ),
                     stage_results=stage_results,
                     run_time=config.total_run_time,
                 )

@@ -30,10 +30,16 @@ from repro.dynamics.batched import (
     BatchedOscillatorModel,
     BlockDiagonalCoupling,
     CouplingOperator,
+    FastBlockDiagonalCoupling,
+    FastSharedCoupling,
     GroupMaskedDenseCoupling,
     SharedCoupling,
 )
-from repro.dynamics.integrators import Trajectory, integrate_euler_maruyama
+from repro.dynamics.integrators import (
+    Trajectory,
+    euler_maruyama_final,
+    integrate_euler_maruyama,
+)
 from repro.dynamics.kuramoto import CoupledOscillatorModel
 from repro.rng import SeedLike, make_rng
 
@@ -97,6 +103,90 @@ def binarize_against_offsets(phases: np.ndarray, offsets: np.ndarray) -> np.ndar
     return ((relative > np.pi / 2.0) & (relative <= 3.0 * np.pi / 2.0)).astype(int)
 
 
+class CouplingPlan:
+    """Precompiled coupling state for one (problem, config) pair.
+
+    Batched stage execution needs a coupling operator per stage; building it
+    from scratch on every stage entry (a fresh CSR for stage 1, an R-block
+    Python loop through ``sparse.block_diag`` for stage 2) used to dominate
+    the non-integration time of a solve.  The plan is built once per executor
+    — and, via the machine-level executor cache, once per machine — and hands
+    out precompiled operators:
+
+    * the ungated (uniform-grouping) shared CSR is built once and reused by
+      every solve's stage 1, buffers included;
+    * replica-dependent stage-2 gatings are assembled by the vectorized
+      :func:`repro.dynamics.batched.gated_block_diagonal_csr` constructor
+      instead of a per-replica loop;
+    * the dense backend's base matrix is built once and shared by every
+      :class:`GroupMaskedDenseCoupling` instance (which itself caches its
+      per-label masks for the stage's two intervals).
+
+    Every operator the plan returns is bit-identical in its arithmetic to the
+    per-stage construction it replaces (same canonical CSR, same kernels).
+    """
+
+    def __init__(
+        self,
+        edge_index: np.ndarray,
+        num_oscillators: int,
+        coupling_rate: float,
+        backend: str,
+    ) -> None:
+        if backend not in ("sparse", "dense"):
+            raise StageError(
+                f"coupling plans need a resolved 'sparse' or 'dense' backend, got {backend!r}"
+            )
+        self.edge_index = edge_index
+        self.num_oscillators = num_oscillators
+        self.coupling_rate = coupling_rate
+        self.backend = backend
+        self._uniform_shared: Optional[FastSharedCoupling] = None
+        self._dense_base: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def dense_base(self) -> np.ndarray:
+        """The fabric's ungated dense coupling-rate matrix (built once)."""
+        if self._dense_base is None:
+            num = self.num_oscillators
+            base = np.zeros((num, num), dtype=float)
+            if self.edge_index.size:
+                rows = self.edge_index[:, 0]
+                cols = self.edge_index[:, 1]
+                base[rows, cols] = self.coupling_rate
+                base[cols, rows] = self.coupling_rate
+            self._dense_base = base
+        return self._dense_base
+
+    def operator(self, group_values: np.ndarray) -> CouplingOperator:
+        """The precompiled coupling operator for one stage's gating table."""
+        if self.backend == "dense":
+            return GroupMaskedDenseCoupling(self.dense_base(), group_values)
+        first_row = group_values[0]
+        if np.all(group_values == first_row):
+            if first_row.size == 0 or np.all(first_row == first_row[0]):
+                # Uniform grouping gates nothing, for any common value: one
+                # shared ungated CSR serves every solve's stage 1.
+                if self._uniform_shared is None:
+                    self._uniform_shared = FastSharedCoupling(
+                        partition_coupling_matrix(
+                            self.edge_index,
+                            first_row,
+                            self.num_oscillators,
+                            self.coupling_rate,
+                        )
+                    )
+                return self._uniform_shared
+            return FastSharedCoupling(
+                partition_coupling_matrix(
+                    self.edge_index, first_row, self.num_oscillators, self.coupling_rate
+                )
+            )
+        return FastBlockDiagonalCoupling.from_group_values(
+            self.edge_index, group_values, self.num_oscillators, self.coupling_rate
+        )
+
+
 @dataclass
 class StageExecutor:
     """Runs the three intervals of one binary stage on a phase vector.
@@ -126,6 +216,15 @@ class StageExecutor:
         path) or ``"dense"`` (group-masked GEMMs, numerically equivalent).
         ``"auto"`` must be resolved by the caller (the engine) before the
         executor runs.
+    fast_path:
+        When ``True`` (default), batched non-trajectory stages run the
+        precompiled hot path: operators come from the executor's
+        :class:`CouplingPlan` and the intervals integrate through
+        :func:`repro.dynamics.integrators.euler_maruyama_final`, never
+        materializing intermediate states.  ``False`` forces the reference
+        body (per-stage operator construction, recorded trajectories) — the
+        baseline the fast path is tested bit-identical against and the
+        pre-overhaul behaviour the hot-path benchmark times.
     """
 
     config: MSROPMConfig
@@ -134,6 +233,21 @@ class StageExecutor:
     collect_trajectory: bool = False
     frequency_detuning: Optional[np.ndarray] = None
     coupling_backend: str = "sparse"
+    fast_path: bool = True
+
+    @property
+    def plan(self) -> CouplingPlan:
+        """The executor's precompiled :class:`CouplingPlan` (built lazily once)."""
+        plan = self.__dict__.get("_plan")
+        if plan is None:
+            plan = CouplingPlan(
+                self.edge_index,
+                self.num_oscillators,
+                self.config.coupling_rate,
+                self.coupling_backend,
+            )
+            self._plan = plan
+        return plan
 
     def run_stage(
         self,
@@ -154,6 +268,10 @@ class StageExecutor:
         """
         phases = np.asarray(phases, dtype=float)
         if phases.ndim == 2:
+            if self.fast_path and not self.collect_trajectory:
+                return self._run_batched_stage_fast(
+                    stage_index, phases, group_values, rng, start_time
+                )
             return self._run_batched_stage(stage_index, phases, group_values, rng, start_time)
         config = self.config
         timing = config.timing
@@ -244,18 +362,8 @@ class StageExecutor:
     # Batched (replica-parallel) execution
     # ------------------------------------------------------------------
     def _dense_base_matrix(self) -> np.ndarray:
-        """The fabric's ungated dense coupling-rate matrix (built lazily once)."""
-        base = getattr(self, "_dense_base", None)
-        if base is None:
-            num = self.num_oscillators
-            base = np.zeros((num, num), dtype=float)
-            if self.edge_index.size:
-                rows = self.edge_index[:, 0]
-                cols = self.edge_index[:, 1]
-                base[rows, cols] = self.config.coupling_rate
-                base[cols, rows] = self.config.coupling_rate
-            self._dense_base = base
-        return base
+        """The fabric's ungated dense coupling-rate matrix (plan-cached)."""
+        return self.plan.dense_base()
 
     def _batched_coupling(self, group_values: np.ndarray) -> CouplingOperator:
         """Build the coupling operator for one batched stage.
@@ -284,6 +392,85 @@ class StageExecutor:
             for row in group_values
         ]
         return BlockDiagonalCoupling(blocks)
+
+    def _run_batched_stage_fast(
+        self,
+        stage_index: int,
+        phases: np.ndarray,
+        group_values: np.ndarray,
+        rng,
+        start_time: float,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[Trajectory]]:
+        """Hot-path mirror of :meth:`_run_batched_stage` for final-state solves.
+
+        Exactly the reference body minus everything a non-trajectory solve
+        never reads: operators come precompiled from the :class:`CouplingPlan`
+        (bit-identical matrices, direct kernels), the two integrated intervals
+        run through :func:`euler_maruyama_final` (same steps, same random
+        stream, no recording), and no :class:`Trajectory` is ever built.  The
+        returned phases and bits are bit-identical to the reference body's.
+        """
+        config = self.config
+        timing = config.timing
+        rng = make_rng(rng)
+        diffusion = config.phase_noise_diffusion
+        time = start_time
+
+        group_values = np.asarray(group_values, dtype=int)
+        if group_values.shape != phases.shape:
+            raise StageError(
+                f"batched group_values shape {group_values.shape} must match "
+                f"phases shape {phases.shape}"
+            )
+        coupling = self.plan.operator(group_values)
+        offsets = group_offsets(group_values, stage_index)
+
+        # Initialization: couplings and SHIL are off, so the interval is a
+        # pure phase diffusion; apply the equivalent Gaussian walk directly.
+        std = np.sqrt(2.0 * diffusion * timing.initialization)
+        if std > 0:
+            phases = phases + rng.normal(0.0, std, size=phases.shape)
+        time += timing.initialization
+
+        anneal_model = BatchedOscillatorModel(
+            coupling=coupling,
+            num_oscillators=self.num_oscillators,
+            shil_strength=0.0,
+            frequency_detuning=self.frequency_detuning,
+            coupling_ramp=config.annealing_policy.coupling_ramp(time, timing.annealing),
+        )
+        phases = euler_maruyama_final(
+            anneal_model,
+            phases,
+            timing.annealing,
+            config.time_step,
+            noise_amplitude=diffusion,
+            seed=rng,
+            start_time=time,
+        )
+        time += timing.annealing
+
+        lock_model = BatchedOscillatorModel(
+            coupling=coupling,
+            num_oscillators=self.num_oscillators,
+            shil_strength=config.shil_rate,
+            shil_offset=offsets,
+            shil_order=2,
+            frequency_detuning=self.frequency_detuning,
+            shil_ramp=config.annealing_policy.shil_ramp(time, timing.shil_settling),
+        )
+        phases = euler_maruyama_final(
+            lock_model,
+            phases,
+            timing.shil_settling,
+            config.time_step,
+            noise_amplitude=diffusion,
+            seed=rng,
+            start_time=time,
+        )
+
+        bits = binarize_against_offsets(phases, offsets)
+        return phases, bits, None
 
     def _run_batched_stage(
         self,

@@ -22,21 +22,44 @@ batched right-hand-side model that consumes them:
   (``coupling[r][i, j] = base[i, j] * [g_r[i] == g_r[j]]``).  Preferred for
   dense graphs, where CSR indirection wastes the hardware.
 
+The sparse operators additionally come in *precompiled* variants used by the
+solve hot path (:class:`repro.core.stages.CouplingPlan`):
+
+* :class:`FastSharedCoupling` skips scipy's ``__matmul__`` dispatch and drives
+  the same ``csr_matvecs`` kernel scipy uses directly, through reusable
+  input/output buffers — identical accumulation, identical bits, none of the
+  per-step wrapper overhead or temporaries.
+* :class:`FastBlockDiagonalCoupling` does the same for the block-diagonal
+  form and is constructed via :func:`gated_block_diagonal_csr`, a vectorized
+  ``indptr/indices/data`` assembly that replaces the per-replica Python loop
+  over ``sparse.block_diag`` blocks with a single ``lexsort`` (same canonical
+  CSR, built two orders of magnitude faster).
+
 :class:`BatchedOscillatorModel` mirrors
 :class:`repro.dynamics.kuramoto.CoupledOscillatorModel` (same physics, same
 term structure) over ``(R, N)`` phase arrays and is consumed unchanged by the
-fixed-step integrators.
+fixed-step integrators; its ``evaluate_into`` method is the allocation-free
+evaluation protocol the integrators prefer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import sparse
 
 from repro.exceptions import SimulationError
+
+try:  # scipy's C kernels; the fast operators fall back to `@` without them
+    from scipy.sparse import _sparsetools
+
+    _csr_matvec = _sparsetools.csr_matvec
+    _csr_matvecs = _sparsetools.csr_matvecs
+except (ImportError, AttributeError):  # pragma: no cover - defensive
+    _csr_matvec = None
+    _csr_matvecs = None
 
 
 class CouplingOperator:
@@ -118,6 +141,168 @@ class BlockDiagonalCoupling(CouplingOperator):
         stacked[:, 1] = second.reshape(replicas * num)
         out = self.matrix @ stacked
         return out[:, 0].reshape(replicas, num), out[:, 1].reshape(replicas, num)
+
+
+class FastSharedCoupling(SharedCoupling):
+    """:class:`SharedCoupling` with a direct-kernel, buffer-reusing ``apply_pair``.
+
+    The reference implementation concatenates the two fields and routes the
+    product through scipy's ``__matmul__``; that dispatch (type sniffing,
+    validation, fresh result allocation) costs more than the matvec itself at
+    solve sizes.  This variant keeps one ``(N, 2R)`` input and one output
+    buffer alive and calls the same ``csr_matvecs`` C kernel scipy calls, so
+    the accumulation order — and therefore every output bit — is unchanged.
+
+    The returned arrays are transposed views of the internal output buffer and
+    are only valid until the next ``apply_pair`` call (the RHS evaluation
+    consumes them immediately).
+    """
+
+    def __init__(self, matrix: Union[np.ndarray, sparse.spmatrix]) -> None:
+        super().__init__(matrix)
+        self._pair_in: Optional[np.ndarray] = None
+        self._pair_out: Optional[np.ndarray] = None
+
+    def apply_pair(self, first: np.ndarray, second: np.ndarray):
+        if _csr_matvecs is None:  # pragma: no cover - scipy without C kernels
+            return super().apply_pair(first, second)
+        replicas, num = first.shape
+        if self._pair_in is None or self._pair_in.shape != (num, 2 * replicas):
+            self._pair_in = np.empty((num, 2 * replicas), dtype=float)
+            self._pair_out = np.empty((num, 2 * replicas), dtype=float)
+        stacked, out = self._pair_in, self._pair_out
+        stacked[:, :replicas] = first.T
+        stacked[:, replicas:] = second.T
+        out.fill(0.0)
+        matrix = self.matrix
+        _csr_matvecs(
+            num,
+            num,
+            2 * replicas,
+            matrix.indptr,
+            matrix.indices,
+            matrix.data,
+            stacked.ravel(),
+            out.ravel(),
+        )
+        return out[:, :replicas].T, out[:, replicas:].T
+
+
+def gated_block_diagonal_csr(
+    edge_index: np.ndarray,
+    group_values: np.ndarray,
+    num_oscillators: int,
+    coupling_rate: float,
+) -> sparse.csr_matrix:
+    """Assemble the per-replica gated couplings as one block-diagonal CSR.
+
+    Vectorized equivalent of building R gated matrices with
+    :func:`repro.core.stages.partition_coupling_matrix` and stacking them with
+    ``sparse.block_diag``: one boolean gate over the ``(R, E)`` edge table, one
+    ``lexsort``, and a ``bincount`` cumulative sum produce the identical
+    canonical CSR (row-major entries, column indices sorted within each row,
+    every stored value ``coupling_rate``), so matvec accumulation order — and
+    results — match the per-replica construction bit for bit.
+    """
+    if coupling_rate < 0:
+        raise SimulationError("coupling_rate must be non-negative")
+    group_values = np.asarray(group_values, dtype=int)
+    if group_values.ndim != 2:
+        raise SimulationError(
+            f"group_values must be a (R, N) array, got shape {group_values.shape}"
+        )
+    num_replicas = group_values.shape[0]
+    size = num_replicas * num_oscillators
+    if edge_index.size == 0:
+        return sparse.csr_matrix((size, size))
+    source = edge_index[:, 0]
+    target = edge_index[:, 1]
+    same_group = group_values[:, source] == group_values[:, target]
+    replica_index, edge_position = np.nonzero(same_group)
+    if replica_index.size == 0:
+        return sparse.csr_matrix((size, size))
+    # Each conducting edge contributes both directed entries of its replica's
+    # symmetric block.
+    rows = np.concatenate([source[edge_position], target[edge_position]])
+    cols = np.concatenate([target[edge_position], source[edge_position]])
+    offsets = np.concatenate([replica_index, replica_index]) * num_oscillators
+    rows = rows + offsets
+    cols = cols + offsets
+    order = np.lexsort((cols, rows))
+    index_dtype = np.int32 if size < np.iinfo(np.int32).max else np.int64
+    indices = cols[order].astype(index_dtype, copy=False)
+    indptr = np.zeros(size + 1, dtype=index_dtype)
+    np.cumsum(np.bincount(rows, minlength=size), out=indptr[1:])
+    data = np.full(indices.shape[0], float(coupling_rate))
+    return sparse.csr_matrix((data, indices, indptr), shape=(size, size))
+
+
+class FastBlockDiagonalCoupling(BlockDiagonalCoupling):
+    """:class:`BlockDiagonalCoupling` built from a prebuilt CSR, kernels direct.
+
+    Constructed via :meth:`from_group_values` (the precompiled-plan path) so
+    no per-replica Python loop ever runs; ``apply_pair`` drives the
+    ``csr_matvec`` kernel once per field through reusable output buffers,
+    returning reshaped views that are valid until the next call.
+    """
+
+    def __init__(
+        self, matrix: sparse.csr_matrix, num_replicas: int, num_oscillators: int
+    ) -> None:
+        self.matrix = matrix.tocsr().astype(float)
+        self.num_replicas = num_replicas
+        self.num_oscillators = num_oscillators
+        self._out_first: Optional[np.ndarray] = None
+        self._out_second: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_group_values(
+        cls,
+        edge_index: np.ndarray,
+        group_values: np.ndarray,
+        num_oscillators: int,
+        coupling_rate: float,
+    ) -> "FastBlockDiagonalCoupling":
+        """Build the operator directly from the gating table (no block loop)."""
+        matrix = gated_block_diagonal_csr(
+            edge_index, group_values, num_oscillators, coupling_rate
+        )
+        return cls(matrix, group_values.shape[0], num_oscillators)
+
+    def apply_pair(self, first: np.ndarray, second: np.ndarray):
+        if _csr_matvec is None:  # pragma: no cover - scipy without C kernels
+            return super().apply_pair(first, second)
+        replicas, num = first.shape
+        size = replicas * num
+        if self._out_first is None or self._out_first.size != size:
+            self._out_first = np.empty(size, dtype=float)
+            self._out_second = np.empty(size, dtype=float)
+        matrix = self.matrix
+        out_first, out_second = self._out_first, self._out_second
+        out_first.fill(0.0)
+        out_second.fill(0.0)
+        # One single-vector kernel call per field: per-row accumulation is
+        # identical to the reference multivector product (columns of a
+        # multivector matvec are independent).
+        _csr_matvec(
+            size,
+            size,
+            matrix.indptr,
+            matrix.indices,
+            matrix.data,
+            np.ascontiguousarray(first).reshape(size),
+            out_first,
+        )
+        _csr_matvec(
+            size,
+            size,
+            matrix.indptr,
+            matrix.indices,
+            matrix.data,
+            np.ascontiguousarray(second).reshape(size),
+            out_second,
+        )
+        return out_first.reshape(replicas, num), out_second.reshape(replicas, num)
 
 
 class GroupMaskedDenseCoupling(CouplingOperator):
@@ -266,3 +451,48 @@ class BatchedOscillatorModel:
         if self._has_detuning:
             np.add(rate, self._detuning, out=rate)
         return rate
+
+    # ------------------------------------------------------------------
+    def _scratch(self, shape: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
+        """Two reusable work buffers of ``shape`` (cos field, SHIL term)."""
+        buffers = self.__dict__.get("_scratch_buffers")
+        if buffers is None or buffers[0].shape != shape:
+            buffers = (np.empty(shape, dtype=float), np.empty(shape, dtype=float))
+            self._scratch_buffers = buffers
+        return buffers
+
+    def evaluate_into(self, time: float, phases: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Allocation-free mirror of :meth:`__call__`: write the rate into ``out``.
+
+        Same operations in the same order as ``__call__`` (the trig fields and
+        the SHIL term live in model-owned scratch buffers instead of fresh
+        arrays), so every output bit matches.  ``out`` must not alias
+        ``phases``; the integrators own ``out`` and pass a dedicated buffer.
+        """
+        if phases.shape != out.shape or phases.ndim != 2 or phases.shape[1] != self.num_oscillators:
+            raise SimulationError(
+                f"expected matching batched phases/out of shape (R, {self.num_oscillators}), "
+                f"got {phases.shape} and {out.shape}"
+            )
+        coupling_scale = self.coupling_ramp(time) if self.coupling_ramp is not None else 1.0
+        shil_scale = self.shil_ramp(time) if self.shil_ramp is not None else 1.0
+        cos_field, term_buf = self._scratch(phases.shape)
+        np.sin(phases, out=out)
+        np.cos(phases, out=cos_field)
+        coupled_cos, coupled_sin = self.coupling.apply_pair(cos_field, out)
+        np.multiply(out, coupled_cos, out=out)
+        np.multiply(cos_field, coupled_sin, out=cos_field)
+        np.subtract(out, cos_field, out=out)
+        if coupling_scale != 1.0:
+            np.multiply(out, coupling_scale, out=out)
+        if shil_scale != 0.0 and self._has_shil:
+            np.subtract(phases, self._shil_offset, out=term_buf)
+            np.multiply(term_buf, self.shil_order, out=term_buf)
+            np.sin(term_buf, out=term_buf)
+            np.multiply(term_buf, -self._shil_strength, out=term_buf)
+            if shil_scale != 1.0:
+                np.multiply(term_buf, shil_scale, out=term_buf)
+            np.add(out, term_buf, out=out)
+        if self._has_detuning:
+            np.add(out, self._detuning, out=out)
+        return out

@@ -94,6 +94,7 @@ class CoupledOscillatorModel:
         if np.any(self._shil_strength < 0):
             raise SimulationError("shil_strength must be non-negative")
         self._shil_offset = self._broadcast(self.shil_offset, "shil_offset")
+        self._has_shil = bool(np.any(self._shil_strength > 0))
         if self.frequency_detuning is None:
             self._detuning = np.zeros(self._num)
         else:
@@ -149,9 +150,56 @@ class CoupledOscillatorModel:
         coupling_scale = self.coupling_ramp(time) if self.coupling_ramp is not None else 1.0
         shil_scale = self.shil_ramp(time) if self.shil_ramp is not None else 1.0
         rate = coupling_scale * self.coupling_term(phases)
-        if shil_scale != 0.0 and np.any(self._shil_strength > 0):
+        if shil_scale != 0.0 and self._has_shil:
             rate = rate + shil_scale * self.shil_term(phases)
         return rate + self._detuning
+
+    def evaluate_into(self, time: float, phases: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Allocation-light mirror of :meth:`__call__`: write the rate into ``out``.
+
+        Performs the same floating-point operations in the same order through
+        model-owned scratch buffers (a scale of exactly 1.0 is skipped, which
+        is a bit-exact identity), so results match ``__call__`` bitwise.
+        ``out`` must not alias ``phases``.
+        """
+        if phases.ndim != 1:
+            # Batched inputs take the reference expressions; this entry point
+            # is hot only for the sequential (N,) stage path.
+            np.copyto(out, self(time, phases))
+            return out
+        if phases.shape != (self._num,) or out.shape != (self._num,):
+            raise SimulationError(
+                f"expected matching phases/out of shape ({self._num},), "
+                f"got {phases.shape} and {out.shape}"
+            )
+        coupling_scale = self.coupling_ramp(time) if self.coupling_ramp is not None else 1.0
+        shil_scale = self.shil_ramp(time) if self.shil_ramp is not None else 1.0
+        buffers = self.__dict__.get("_scratch_buffers")
+        if buffers is None:
+            buffers = (np.empty(self._num, dtype=float), np.empty(self._num, dtype=float))
+            self._scratch_buffers = buffers
+        sin_field, work = buffers
+        np.sin(phases, out=sin_field)
+        np.cos(phases, out=work)
+        coupled_cos = self._coupling @ work
+        coupled_sin = self._coupling @ sin_field
+        np.multiply(sin_field, coupled_cos, out=out)
+        np.multiply(work, coupled_sin, out=work)
+        np.subtract(out, work, out=out)
+        if coupling_scale != 1.0:
+            np.multiply(out, coupling_scale, out=out)
+        if shil_scale != 0.0 and self._has_shil:
+            np.subtract(phases, self._shil_offset, out=work)
+            np.multiply(work, self.shil_order, out=work)
+            np.sin(work, out=work)
+            np.multiply(work, -self._shil_strength, out=work)
+            if shil_scale != 1.0:
+                np.multiply(work, shil_scale, out=work)
+            np.add(out, work, out=out)
+        # __call__ always adds the detuning array (zeros when absent); adding
+        # the zeros unconditionally keeps even signed zeros identical.
+        np.add(out, self._detuning, out=out)
+        return out
 
     # ------------------------------------------------------------------
     def energy(self, phases: np.ndarray, time: Optional[float] = None) -> float:

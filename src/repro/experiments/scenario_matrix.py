@@ -47,6 +47,7 @@ from repro.runtime.runner import ExperimentRunner, SolveRequest
 from repro.workloads.registry import (
     ReferenceSolution,
     WorkloadInstance,
+    cached_reference,
     derive_instance_seed,
     expand_workloads,
 )
@@ -318,7 +319,10 @@ def run_scenario_matrix(
     rows: List[ScenarioRow] = []
     for instance, request, solve in zip(instances, requests, solves):
         graph = instance.build()
-        reference = instance.reference(graph)
+        # Reference solutions depend only on the content-addressed spec, so
+        # they ride in the runner's result cache: warm matrix reruns skip the
+        # exact backtracking searches along with the solves.
+        reference = cached_reference(instance, graph, cache=runner.cache)
         if instance.kind == "maxcut":
             accuracies = tuple(
                 _cut_ratio(value, graph.num_edges, reference.reference_cut)

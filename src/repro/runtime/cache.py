@@ -14,6 +14,14 @@ via :mod:`repro.analysis.results_io`.  *Any* failure to read an entry —
 missing file, corrupt JSON, an envelope or results schema mismatch — is
 treated as a miss and the entry is rewritten after recomputation, so format
 evolution invalidates old entries cleanly instead of erroring.
+
+Besides solve results the cache stores arbitrary small JSON *payloads* under
+``<root>/<kind>/<hash[:2]>/<hash>.json`` (:meth:`ResultCache.load_payload` /
+:meth:`ResultCache.store_payload`) with the same atomicity and
+miss-on-any-failure semantics.  The workload zoo keeps its reference
+solutions there (``kind="reference"``, keyed by the graph-spec content hash),
+so exact backtracking colorability checks and max-cut reference cuts are
+computed once per problem rather than once per scenario-matrix invocation.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.exceptions import ReproError
 from repro.analysis.results_io import solve_result_from_dict, solve_result_to_dict
@@ -59,6 +67,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.payload_hits = 0
+        self.payload_misses = 0
+        self.payload_stores = 0
 
     # ------------------------------------------------------------------
     def path_for(self, job_hash: str) -> Path:
@@ -97,16 +108,61 @@ class ResultCache:
         """Persist ``result`` for ``job`` (atomic write, last writer wins)."""
         if not job.cacheable:
             return
-        path = self.path_for(job.job_hash)
-        path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {
             "cache_schema": CACHE_SCHEMA_VERSION,
             "job_hash": job.job_hash,
             "job": job.describe(),
             "result": solve_result_to_dict(result),
         }
-        # Write-to-temp + rename so concurrent runners never observe a torn
-        # entry; os.replace is atomic within one filesystem.
+        self._write_atomic(self.path_for(job.job_hash), envelope)
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    # Generic JSON payloads (reference solutions and similar derived data)
+    # ------------------------------------------------------------------
+    def payload_path(self, kind: str, key_hash: str) -> Path:
+        """The entry path of a ``kind`` payload (own namespace, hash-sharded)."""
+        return self.root / kind / key_hash[:2] / f"{key_hash}.json"
+
+    def load_payload(self, kind: str, key_hash: str) -> Optional[Dict]:
+        """Return the cached ``kind`` payload for ``key_hash``, or ``None``.
+
+        Same semantics as :meth:`load`: any unreadable or schema-mismatched
+        entry counts as a miss and is overwritten on the next store.
+        """
+        path = self.payload_path(kind, key_hash)
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("cache_schema") != CACHE_SCHEMA_VERSION
+                or envelope.get("kind") != kind
+                or envelope.get("key") != key_hash
+                or not isinstance(envelope.get("payload"), dict)
+            ):
+                raise ReproError("payload envelope mismatch")
+        except (OSError, ValueError, KeyError, TypeError, ReproError):
+            self.payload_misses += 1
+            return None
+        self.payload_hits += 1
+        return envelope["payload"]
+
+    def store_payload(self, kind: str, key_hash: str, payload: Dict) -> None:
+        """Persist a ``kind`` payload under ``key_hash`` (atomic write)."""
+        envelope = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "kind": kind,
+            "key": key_hash,
+            "payload": payload,
+        }
+        self._write_atomic(self.payload_path(kind, key_hash), envelope)
+        self.payload_stores += 1
+
+    # ------------------------------------------------------------------
+    def _write_atomic(self, path: Path, envelope: Dict) -> None:
+        """Write-to-temp + rename so concurrent runners never observe a torn
+        entry; os.replace is atomic within one filesystem."""
+        path.parent.mkdir(parents=True, exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
             "w", dir=path.parent, suffix=".tmp", delete=False, encoding="utf-8"
         )
@@ -117,4 +173,3 @@ class ResultCache:
         except OSError:
             Path(handle.name).unlink(missing_ok=True)
             raise
-        self.stores += 1

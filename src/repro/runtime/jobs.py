@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from functools import cached_property
 from pathlib import Path
@@ -375,16 +376,33 @@ class SolveJob:
             )
         return chunks
 
+    @property
+    def memoizable(self) -> bool:
+        """Whether the job's graph+machine construction is reusable.
+
+        Construction is deterministic — and therefore shareable between jobs —
+        when the graph spec builds deterministically and any static frequency
+        detuning is drawn from a fixed config seed.  (Unlike
+        :attr:`cacheable`, the *solve* seed is irrelevant: the memo only
+        caches the constructed machine, never results.)
+        """
+        if not self.spec.deterministic:
+            return False
+        if self.config.frequency_detuning_std > 0 and self.config.seed is None:
+            return False
+        return True
+
     def run(self) -> SolveResult:
         """Execute the job in-process and return its range's results.
 
         Iteration indices in the returned result are *global* (relative to the
         full solve), which is what makes range merging order-preserving.
+        Graph and machine construction goes through the process-local machine
+        memo, so repeat jobs on the same (problem, config) — replica chunks of
+        one solve, sweep reruns, warm scenario matrices — skip the rebuild and
+        reuse the machine's precompiled stage executors.
         """
-        from repro.core.machine import MSROPM
-
-        graph = self.spec.build()
-        machine = MSROPM(graph, self.config)
+        graph, machine = build_machine(self.spec, self.config, memoize=self.memoizable)
         iterations = machine.solve_range(
             total_iterations=self.total_iterations,
             start=self.replica_start,
@@ -392,6 +410,66 @@ class SolveJob:
             seed=self.seed,
         )
         return SolveResult(graph=graph, num_colors=self.config.num_colors, iterations=iterations)
+
+
+# ----------------------------------------------------------------------
+# Process-local machine memo
+# ----------------------------------------------------------------------
+#: Constructed (graph, machine) pairs keyed by spec/config content hash, one
+#: memo per process (each scheduler worker keeps its own).  Small and bounded:
+#: entries are a Graph plus an MSROPM with its cached stage executors.
+_MACHINE_MEMO: "OrderedDict[str, tuple]" = OrderedDict()
+
+#: Maximum number of memoized machines per process.
+MACHINE_MEMO_MAX = 64
+
+#: Process-local counters (inspected by tests and the hot-path benchmark).
+MACHINE_MEMO_STATS = {"hits": 0, "builds": 0}
+
+
+def machine_memo_key(spec: GraphSpec, config: MSROPMConfig) -> str:
+    """Content hash identifying one (graph spec, config) construction."""
+    return _sha256_text(
+        canonical_json({"graph": spec.fingerprint(), "config": asdict(config)})
+    )
+
+
+def clear_machine_memo() -> None:
+    """Drop every memoized machine (test isolation hook)."""
+    _MACHINE_MEMO.clear()
+    MACHINE_MEMO_STATS["hits"] = 0
+    MACHINE_MEMO_STATS["builds"] = 0
+
+
+def build_machine(spec: GraphSpec, config: MSROPMConfig, memoize: bool = True):
+    """Build (or reuse) the graph and MSROPM for a job's spec/config pair.
+
+    With ``memoize=True`` (deterministic constructions only — see
+    :attr:`SolveJob.memoizable`) the pair is served from the process-local
+    memo: repeat jobs on the same problem skip graph generation, netlist
+    construction, detuning draws, and — because the machine carries its cached
+    stage executors and coupling plans — operator precompilation.  Solves
+    draw no state from the machine besides these immutable structures, so
+    sharing is bit-neutral.
+    """
+    from repro.core.machine import MSROPM
+
+    if not memoize:
+        graph = spec.build()
+        return graph, MSROPM(graph, config)
+    key = machine_memo_key(spec, config)
+    entry = _MACHINE_MEMO.get(key)
+    if entry is not None:
+        _MACHINE_MEMO.move_to_end(key)
+        MACHINE_MEMO_STATS["hits"] += 1
+        return entry
+    graph = spec.build()
+    machine = MSROPM(graph, config)
+    _MACHINE_MEMO[key] = (graph, machine)
+    MACHINE_MEMO_STATS["builds"] += 1
+    while len(_MACHINE_MEMO) > MACHINE_MEMO_MAX:
+        _MACHINE_MEMO.popitem(last=False)
+    return graph, machine
 
 
 def merge_job_results(jobs: List[SolveJob], results: List[SolveResult]) -> SolveResult:

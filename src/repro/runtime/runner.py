@@ -84,6 +84,23 @@ class ExperimentRunner:
         """Number of scheduler worker processes."""
         return self.scheduler.workers
 
+    def close(self) -> None:
+        """Release the scheduler's warm worker pool (idempotent).
+
+        The pool is kept alive between :meth:`solve_many` calls so multi-batch
+        commands (``msropm suite``, ``msropm scenarios``) pay process spin-up
+        once; closing the runner — or using it as a context manager — returns
+        the workers.  A closed runner can keep solving: the next parallel
+        batch simply starts a fresh pool.
+        """
+        self.scheduler.close()
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def stats(self) -> Dict[str, int]:
         """Execution counters: jobs run, cache hits/misses/stores, memo size."""
         counters = {

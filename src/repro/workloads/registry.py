@@ -25,12 +25,12 @@ lazily on first lookup, so importing the runtime never drags in generators.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.graphs.graph import Graph
-from repro.runtime.jobs import GraphSpec
+from repro.runtime.jobs import GraphSpec, _sha256_text, canonical_json
 
 #: Problem kinds a family can declare.
 WORKLOAD_KINDS = ("coloring", "maxcut")
@@ -270,6 +270,66 @@ def build_family_graph(name: str, params: Dict[str, Any], seed: Optional[int]) -
     if family.builder is None:
         raise ConfigurationError(f"workload family {name!r} has no generator builder")
     return family.builder(params, seed)
+
+
+# ----------------------------------------------------------------------
+# Reference-solution caching
+# ----------------------------------------------------------------------
+#: Version of the cached reference-solution payload.  Bump when providers
+#: change in a result-affecting way; old entries then miss and recompute.
+REFERENCE_SCHEMA_VERSION = 1
+
+#: Payload namespace within the runtime's :class:`ResultCache`.
+REFERENCE_CACHE_KIND = "reference"
+
+
+def reference_cache_key(instance: WorkloadInstance) -> Optional[str]:
+    """Content hash identifying ``instance``'s reference solution, or ``None``.
+
+    The key derives from the graph spec's content fingerprint plus the
+    workload kind and color budget — everything the reference providers
+    consume — so it is stable across processes and invocations.  Instances
+    whose spec does not build deterministically (seedless generated
+    ensembles) have no stable identity and return ``None`` (uncacheable).
+    """
+    if not instance.spec.deterministic:
+        return None
+    # Same canonical-JSON + SHA-256 recipe as every other runtime content hash.
+    payload = {
+        "reference_schema": REFERENCE_SCHEMA_VERSION,
+        "graph": instance.spec.fingerprint(),
+        "family": instance.family,
+        "kind": instance.kind,
+        "num_colors": instance.num_colors,
+    }
+    return _sha256_text(canonical_json(payload))
+
+
+def cached_reference(
+    instance: WorkloadInstance,
+    graph: Optional[Graph] = None,
+    cache=None,
+) -> ReferenceSolution:
+    """The instance's reference solution, served from ``cache`` when possible.
+
+    ``cache`` is a :class:`repro.runtime.cache.ResultCache` (or ``None`` for
+    the uncached path).  References depend only on the content-addressed graph
+    spec, so scenario-matrix reruns — and any experiment sharing the cache
+    directory — skip the exact backtracking colorability searches and
+    reference-cut computations after the first run.
+    """
+    key = reference_cache_key(instance) if cache is not None else None
+    if key is not None:
+        payload = cache.load_payload(REFERENCE_CACHE_KIND, key)
+        if payload is not None:
+            try:
+                return ReferenceSolution(**payload)
+            except TypeError:
+                pass  # foreign/stale payload shape: recompute and overwrite
+    reference = instance.reference(graph)
+    if key is not None:
+        cache.store_payload(REFERENCE_CACHE_KIND, key, asdict(reference))
+    return reference
 
 
 def default_workload(family: str, base_seed: int = 2025) -> WorkloadSpec:
