@@ -38,13 +38,24 @@ from repro.graphs import (
 from repro.circuit import PowerModel, TimingPlan
 from repro.exceptions import ReproError
 from repro.runtime import (
+    BaselineJob,
     ExperimentRunner,
     GraphSpec,
+    Job,
     JobScheduler,
     KingsGraphSpec,
     ResultCache,
     SolveJob,
     SolveRequest,
+)
+from repro.campaigns import (
+    CampaignSpec,
+    CampaignStage,
+    RunLedger,
+    StageMachine,
+    StageState,
+    resume_campaign,
+    run_campaign,
 )
 
 __version__ = "1.0.0"
@@ -68,12 +79,21 @@ __all__ = [
     "PowerModel",
     "TimingPlan",
     "ReproError",
+    "BaselineJob",
     "ExperimentRunner",
     "GraphSpec",
+    "Job",
     "JobScheduler",
     "KingsGraphSpec",
     "ResultCache",
     "SolveJob",
     "SolveRequest",
+    "CampaignSpec",
+    "CampaignStage",
+    "RunLedger",
+    "StageMachine",
+    "StageState",
+    "resume_campaign",
+    "run_campaign",
     "__version__",
 ]

@@ -117,6 +117,46 @@ def summarize_accuracy_by_family(
     ]
 
 
+def format_campaign_report(stages: Sequence[object], title: str = "Campaign") -> str:
+    """Render a campaign's per-stage execution accounting as a table.
+
+    ``stages`` is a sequence of stage-report objects (duck-typed to avoid a
+    dependency on :mod:`repro.campaigns`) carrying ``name``, ``requires``,
+    ``state``, ``num_jobs``, ``jobs_run`` and ``served``: the orchestrator's
+    :class:`~repro.campaigns.orchestrator.StageReport` and the CLI's status
+    rows both qualify.  "Computed" counts jobs actually executed this
+    invocation; "Served" counts jobs answered by the cache/memo/dedup — the
+    number that makes a resumed campaign's zero-recompute property visible.
+    """
+    rows = [
+        [
+            stage.name,
+            ", ".join(stage.requires) if stage.requires else "-",
+            stage.state,
+            stage.num_jobs,
+            stage.jobs_run,
+            stage.served,
+        ]
+        for stage in stages
+    ]
+    return format_table(
+        ("Stage", "Requires", "State", "Jobs", "Computed", "Served"),
+        rows,
+        title=title,
+    )
+
+
+def summarize_campaign_totals(stages: Sequence[object]) -> Dict[str, int]:
+    """Aggregate a campaign's stage reports into whole-run counters."""
+    return {
+        "stages": len(stages),
+        "stages_passed": sum(1 for stage in stages if stage.state == "passed"),
+        "jobs": sum(stage.num_jobs for stage in stages),
+        "computed": sum(stage.jobs_run for stage in stages),
+        "served": sum(stage.served for stage in stages),
+    }
+
+
 def format_float(value: float, digits: int = 3) -> str:
     """Format a float with a fixed number of decimals (NaN-safe)."""
     if value != value:  # NaN

@@ -37,7 +37,9 @@ PathLike = Union[str, Path]
 SCHEMA = "msropm/solve-result"
 
 #: Format version written into every results file.  Bump on any layout change.
-FORMAT_VERSION = 2
+#: History: 2 — stage records with clipped accuracies.  3 — stages carry the
+#: raw (unclipped) accuracy ratio alongside the [0, 1] paper metric.
+FORMAT_VERSION = 3
 
 
 def solve_result_to_dict(result: SolveResult) -> Dict:
@@ -53,6 +55,7 @@ def solve_result_to_dict(result: SolveResult) -> Dict:
                     "cut_value": stage.cut_value,
                     "reference_cut": stage.reference_cut,
                     "accuracy": stage.accuracy,
+                    "raw_accuracy": stage.raw,
                     "side_b_indices": sorted(
                         index for index, node in enumerate(node_order) if node in stage.partition.side_b
                     ),
@@ -107,6 +110,7 @@ def solve_result_from_dict(payload: Dict) -> SolveResult:
                     cut_value=int(stage["cut_value"]),
                     reference_cut=int(stage["reference_cut"]),
                     accuracy=float(stage["accuracy"]),
+                    raw_accuracy=float(stage["raw_accuracy"]),
                 )
             )
         iterations.append(

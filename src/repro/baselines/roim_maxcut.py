@@ -47,17 +47,23 @@ class ROIMMaxCut:
     reference_cut:
         Normalization for the reported accuracy; defaults to the total edge
         weight (exact for bipartite graphs, an upper bound otherwise).
+    weights:
+        Optional per-edge weights of the max-cut objective (default: unit
+        weights).  The phase dynamics are weight-agnostic — like the real
+        hardware, the fabric couples every edge identically — but cut values
+        and accuracies are scored against the weighted objective.
     """
 
     graph: Graph
     config: Optional[MSROPMConfig] = None
     reference_cut: Optional[float] = None
+    weights: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.graph.num_nodes == 0:
             raise ConfigurationError("cannot build a ROIM for an empty graph")
         self._config = self.config or MSROPMConfig(num_colors=4)
-        self._problem = MaxCutProblem(self.graph)
+        self._problem = MaxCutProblem(self.graph, weights=self.weights)
         self._reference = (
             self.reference_cut if self.reference_cut is not None else self._problem.total_weight()
         )

@@ -1,0 +1,63 @@
+"""Campaign orchestrator: declarative multi-stage experiment campaigns.
+
+``repro.campaigns`` turns one-shot evaluation scripts into *campaigns*:
+named stages with declared prerequisites (:class:`CampaignSpec`), a state
+machine enforcing legal transitions (:class:`StageMachine`), a persistent
+append-only run ledger (:class:`RunLedger`, JSONL under the cache dir), and
+an orchestrator (:func:`run_campaign` / :func:`resume_campaign`) that shards
+every stage's jobs through the experiment runtime.  A campaign killed
+mid-run resumes from its last completed stage, re-enqueues only unfinished
+jobs, and produces byte-identical final results.
+
+``msropm campaign run/status/resume/list`` is the CLI; the built-in
+``suite`` and ``scenarios`` campaigns re-express the paper evaluation and
+the workload-zoo matrix in this form.
+"""
+
+from repro.campaigns.builtin import campaign_names, get_campaign, register_campaign
+from repro.campaigns.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerState,
+    RunLedger,
+    ledger_root,
+)
+from repro.campaigns.orchestrator import (
+    KILL_AFTER_ENV,
+    CampaignError,
+    CampaignRun,
+    StageReport,
+    resume_campaign,
+    run_campaign,
+)
+from repro.campaigns.spec import CampaignContext, CampaignSpec, CampaignStage
+from repro.campaigns.stage_machine import (
+    InvalidTransitionError,
+    PrerequisiteNotMetError,
+    StageMachine,
+    StageState,
+    TransitionRecord,
+)
+
+__all__ = [
+    "KILL_AFTER_ENV",
+    "LEDGER_SCHEMA_VERSION",
+    "CampaignContext",
+    "CampaignError",
+    "CampaignRun",
+    "CampaignSpec",
+    "CampaignStage",
+    "InvalidTransitionError",
+    "LedgerState",
+    "PrerequisiteNotMetError",
+    "RunLedger",
+    "StageMachine",
+    "StageReport",
+    "StageState",
+    "TransitionRecord",
+    "campaign_names",
+    "get_campaign",
+    "ledger_root",
+    "register_campaign",
+    "resume_campaign",
+    "run_campaign",
+]

@@ -1,0 +1,245 @@
+"""Persistent run ledger: an append-only JSONL journal per campaign run.
+
+The ledger is the campaign orchestrator's crash-safe control plane.  Every
+state change — run creation, stage transitions, batches of finished job
+hashes — is appended as one JSON line to ``<root>/<run_id>.jsonl`` the moment
+it happens, so a killed process loses at most the event it was writing.
+Reads tolerate exactly that failure mode: a torn trailing line (the partial
+write of a crash) is ignored, never an error.
+
+Division of labor with the result cache: *results* live in the
+content-addressed :class:`~repro.runtime.cache.ResultCache`, keyed by job
+hash; the ledger records *which* jobs and stages completed.  Resume therefore
+needs no result bytes from the ledger — it replays the journal to restore
+stage states, re-plans the campaign's (deterministic) jobs, and lets the
+cache serve everything the interrupted run already computed.
+
+Appends are atomic in practice: each event is a single short ``write`` to an
+``O_APPEND`` file descriptor followed by flush + fsync, which POSIX delivers
+as one contiguous record for writes far below the pipe-buffer threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.exceptions import ConfigurationError, ReproError
+
+#: Version of the ledger event stream layout.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Subdirectory of the runtime cache dir holding campaign ledgers.
+LEDGER_DIR_NAME = "campaigns"
+
+
+def ledger_root(cache_dir: Union[str, Path]) -> Path:
+    """The campaign-ledger directory under a runtime cache directory."""
+    return Path(cache_dir) / LEDGER_DIR_NAME
+
+
+@dataclass
+class LedgerState:
+    """Everything a replayed ledger knows about one run."""
+
+    run_id: str
+    campaign: str
+    params: Dict[str, Any]
+    #: Runtime planning knobs recorded at run creation (``replica_chunk``).
+    runtime: Dict[str, Any] = field(default_factory=dict)
+    #: Stage name -> last recorded state value (``StageState`` values).
+    stage_states: Dict[str, str] = field(default_factory=dict)
+    #: Stage name -> content hashes of jobs recorded finished.
+    finished_jobs: Dict[str, List[str]] = field(default_factory=dict)
+    finished: bool = False
+    created_at: float = 0.0
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def num_finished_jobs(self) -> int:
+        """Total job completions recorded across all stages."""
+        return sum(len(hashes) for hashes in self.finished_jobs.values())
+
+
+class RunLedger:
+    """Append-only JSONL journal of campaign runs under one directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def path(self, run_id: str) -> Path:
+        """The journal file of one run."""
+        if not run_id or "/" in run_id or run_id.startswith("."):
+            raise ConfigurationError(f"invalid run id {run_id!r}")
+        return self.root / f"{run_id}.jsonl"
+
+    @staticmethod
+    def new_run_id(campaign: str) -> str:
+        """A fresh, collision-free run id (campaign name + random suffix)."""
+        return f"{campaign}-{uuid.uuid4().hex[:8]}"
+
+    # ------------------------------------------------------------------
+    def _truncate_uncommitted_tail(self, path: Path) -> None:
+        """Drop a torn (newline-less) final line left by a crash mid-append.
+
+        An event is committed only once its trailing newline is on disk, so a
+        tail without one is an append that never happened.  It must be
+        removed *before* the next append: writing after the fragment would
+        concatenate the two lines, silently losing the new event on the next
+        replay and corrupting the journal for good once more events follow.
+        """
+        try:
+            with open(path, "rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) == b"\n":
+                    return  # committed tail — the overwhelmingly common case
+                # Torn tail (rare): find the last committed newline and drop
+                # everything after it.  Journals are small, so one read is fine.
+                handle.seek(0)
+                content = handle.read()
+                handle.truncate(content.rfind(b"\n") + 1)
+        except OSError:
+            return
+
+    def append(self, run_id: str, event: Dict[str, Any]) -> None:
+        """Append one event line (single atomic write + flush + fsync)."""
+        path = self.path(run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._truncate_uncommitted_tail(path)
+        record = dict(event)
+        record.setdefault("ts", time.time())
+        line = json.dumps(record, sort_keys=True) + "\n"
+        # One write() on an O_APPEND descriptor: concurrent readers see either
+        # nothing or the whole line; a crash can only tear the final line,
+        # which events() treats as uncommitted.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def start_run(
+        self,
+        campaign: str,
+        params: Optional[Dict[str, Any]] = None,
+        run_id: Optional[str] = None,
+        runtime: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Create a run journal and record its ``campaign_started`` event.
+
+        ``runtime`` records the execution-runtime knobs that shape job hashes
+        (today: ``replica_chunk``) so a resume can restore them — resuming
+        with different chunk boundaries would re-plan differently-hashed jobs
+        and silently recompute "already passed" stages.
+        """
+        run_id = run_id or self.new_run_id(campaign)
+        if self.path(run_id).exists():
+            raise ConfigurationError(f"run {run_id!r} already exists")
+        self.append(
+            run_id,
+            {
+                "event": "campaign_started",
+                "ledger_schema": LEDGER_SCHEMA_VERSION,
+                "campaign": campaign,
+                "params": dict(params or {}),
+                "runtime": dict(runtime or {}),
+            },
+        )
+        return run_id
+
+    # ------------------------------------------------------------------
+    def events(self, run_id: str) -> List[Dict[str, Any]]:
+        """All committed events of a run, in append order.
+
+        An event is committed only once its trailing newline reached the
+        disk, so a newline-less tail — the signature of a crash mid-append —
+        is silently dropped, whether or not the fragment happens to parse.
+        A malformed *committed* line is corruption and raises.
+        """
+        path = self.path(run_id)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            raise ConfigurationError(f"unknown campaign run {run_id!r}") from None
+        committed = raw.rpartition("\n")[0]  # drop the uncommitted tail, if any
+        events: List[Dict[str, Any]] = []
+        for index, line in enumerate(committed.splitlines()):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+                if not isinstance(event, dict):
+                    raise ValueError("event is not an object")
+            except ValueError:
+                raise ReproError(
+                    f"corrupt ledger {path}: malformed event at line {index + 1}"
+                ) from None
+            events.append(event)
+        return events
+
+    def replay(self, run_id: str) -> LedgerState:
+        """Fold a run's journal into its last known state."""
+        events = self.events(run_id)
+        if not events or events[0].get("event") != "campaign_started":
+            raise ReproError(
+                f"ledger of run {run_id!r} does not begin with campaign_started"
+            )
+        head = events[0]
+        state = LedgerState(
+            run_id=run_id,
+            campaign=str(head.get("campaign", "")),
+            params=dict(head.get("params", {})),
+            runtime=dict(head.get("runtime", {})),
+            created_at=float(head.get("ts", 0.0)),
+            events=events,
+        )
+        for event in events[1:]:
+            kind = event.get("event")
+            stage = event.get("stage")
+            if kind == "stage_started" or kind == "stage_resumed":
+                state.stage_states[stage] = "running"
+            elif kind == "stage_passed":
+                state.stage_states[stage] = "passed"
+            elif kind == "stage_failed":
+                state.stage_states[stage] = "failed"
+            elif kind == "stage_blocked":
+                state.stage_states[stage] = "blocked"
+            elif kind == "jobs_finished":
+                # Deduplicate: a resumed stage records its (identical) batch
+                # again, and double-counting would misreport "Jobs recorded".
+                recorded = state.finished_jobs.setdefault(stage, [])
+                seen = set(recorded)
+                for value in event.get("job_hashes", []):
+                    job_hash = str(value)
+                    if job_hash not in seen:
+                        seen.add(job_hash)
+                        recorded.append(job_hash)
+            elif kind == "campaign_finished":
+                state.finished = True
+        return state
+
+    # ------------------------------------------------------------------
+    def list_runs(self) -> List[LedgerState]:
+        """Replay every journal under the root, newest first.
+
+        Unreadable journals are skipped (another process may be mid-create);
+        corrupt ones surface as errors when actually resumed.
+        """
+        if not self.root.is_dir():
+            return []
+        states: List[LedgerState] = []
+        for path in sorted(self.root.glob("*.jsonl")):
+            try:
+                states.append(self.replay(path.stem))
+            except (ReproError, ConfigurationError):
+                continue
+        states.sort(key=lambda state: state.created_at, reverse=True)
+        return states

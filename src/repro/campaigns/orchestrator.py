@@ -1,0 +1,375 @@
+"""Campaign orchestrator: execute declarative campaigns with crash-safe resume.
+
+``run_campaign`` drives one :class:`~repro.campaigns.spec.CampaignSpec`
+through the :class:`~repro.campaigns.stage_machine.StageMachine` in
+topological order.  Each stage plans its job batch, runs it through the
+shared :class:`~repro.runtime.runner.ExperimentRunner` (which shards across
+the warm worker pool and resolves repeats from the content-addressed cache),
+records its progress in the :class:`~repro.campaigns.ledger.RunLedger`, and
+reduces the batch into the stage output the downstream stages read.
+
+Crash-safe resume is the design center.  A killed campaign leaves (a) cache
+entries for every job that finished and (b) a ledger journal ending wherever
+the crash hit.  ``resume_campaign`` replays the journal: stages recorded
+``passed`` re-plan their jobs and resolve them entirely from the cache (their
+outputs are needed by later stages and the final report — recomputing them
+would be both wasteful and a correctness bug), the interrupted stage
+re-enqueues only the jobs the cache cannot answer, and untouched stages run
+normally.  Because planners are deterministic and job results are pure
+functions of their content hash, a resumed campaign's outputs are
+byte-identical to an uninterrupted run's.
+
+Failure policy: a stage whose batch (or reducer) raises is marked ``FAILED``
+and its transitive dependents ``BLOCKED`` — all recorded — before the error
+propagates as :class:`CampaignError`.  Resuming such a run retries the failed
+stage from scratch (its previous state replays as not-started).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.exceptions import ReproError
+from repro.campaigns.ledger import LedgerState, RunLedger
+from repro.campaigns.spec import CampaignContext, CampaignSpec, CampaignStage
+from repro.campaigns.stage_machine import StageMachine, StageState
+from repro.runtime.runner import ExperimentRunner
+
+#: Test/CI hook: when set to a stage name, the orchestrator hard-exits the
+#: process right after that stage's ``stage_passed`` ledger record — a
+#: reproducible stand-in for "the machine died mid-campaign" that the
+#: campaign-smoke CI job uses to exercise resume.
+KILL_AFTER_ENV = "MSROPM_CAMPAIGN_KILL_AFTER"
+
+#: Exit code of the simulated kill (distinct from ordinary failures).
+KILL_EXIT_CODE = 86
+
+
+class CampaignError(ReproError):
+    """A campaign stage failed; the run's ledger records the failure."""
+
+
+@dataclass
+class StageReport:
+    """Execution accounting of one stage within one campaign invocation."""
+
+    name: str
+    requires: tuple
+    state: str
+    num_jobs: int
+    jobs_run: int
+    description: str = ""
+
+    @property
+    def served(self) -> int:
+        """Jobs answered without computing (cache, memo, or dedup)."""
+        return self.num_jobs - self.jobs_run
+
+
+@dataclass
+class CampaignRun:
+    """Everything one ``run_campaign`` invocation produced."""
+
+    run_id: str
+    campaign: str
+    params: Dict[str, Any]
+    outputs: Dict[str, Any]
+    reports: List[StageReport]
+    runner_stats: Dict[str, int]
+    resumed: bool = False
+    wall_time_s: float = 0.0
+
+    @property
+    def final_output(self) -> Any:
+        """The last stage's output (the campaign's headline artifact)."""
+        if not self.reports:
+            return None
+        return self.outputs.get(self.reports[-1].name)
+
+    def render(self) -> str:
+        """The per-stage campaign report table."""
+        from repro.analysis.reporting import format_campaign_report
+
+        return format_campaign_report(
+            self.reports,
+            title=f"Campaign '{self.campaign}' run {self.run_id}"
+            + (" (resumed)" if self.resumed else ""),
+        )
+
+
+def _default_log(message: str) -> None:
+    """Default progress sink: silent (library callers opt in explicitly)."""
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    params: Optional[Dict[str, Any]] = None,
+    runner: Optional[ExperimentRunner] = None,
+    ledger: Optional[RunLedger] = None,
+    run_id: Optional[str] = None,
+    resume: bool = False,
+    log: Callable[[str], None] = _default_log,
+    replayed_state: Optional[LedgerState] = None,
+) -> CampaignRun:
+    """Execute (or resume) one campaign run.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    params:
+        Campaign parameters, visible to every stage planner/reducer.  On
+        resume they are ignored in favor of the parameters the ledger
+        recorded at run creation (a resumed run must re-plan identical jobs).
+    runner:
+        Execution runtime shared by all stages (``None`` = serial, uncached —
+        legal, but resume then recomputes instead of loading).
+    ledger:
+        Run journal; ``None`` runs ephemerally (no persistence, no resume).
+    run_id:
+        Explicit id for a new run, or the id to resume when ``resume=True``.
+    log:
+        Progress callback (one short line per event); silent by default.
+    replayed_state:
+        An already-replayed :class:`LedgerState` for ``run_id`` (resume path
+        only) — saves :func:`resume_campaign` a second journal parse.
+    """
+    runner = runner or ExperimentRunner()
+    machine = StageMachine(spec.prerequisites())
+    start = time.perf_counter()
+
+    if resume:
+        if ledger is None or run_id is None:
+            raise CampaignError("resume needs a ledger and a run id")
+        state = replayed_state if replayed_state is not None else ledger.replay(run_id)
+        if state.run_id != run_id:
+            raise CampaignError(
+                f"replayed state is for run {state.run_id!r}, not {run_id!r}"
+            )
+        if state.campaign != spec.name:
+            raise CampaignError(
+                f"run {run_id!r} belongs to campaign {state.campaign!r}, "
+                f"not {spec.name!r}"
+            )
+        params = state.params
+        # Restore the planning knobs the original run recorded: job hashes
+        # depend on replica-chunk boundaries, so resuming with a different
+        # chunking would miss the cache and quietly recompute passed stages.
+        recorded_chunk = state.runtime.get("replica_chunk")
+        if recorded_chunk != runner.replica_chunk:
+            log(
+                f"campaign {spec.name}: restoring replica_chunk="
+                f"{recorded_chunk} recorded by run {run_id}"
+            )
+            runner.replica_chunk = recorded_chunk
+        _restore_machine(machine, state)
+    else:
+        params = dict(params or {})
+        _validate_params(spec, params)
+        if ledger is not None:
+            run_id = ledger.start_run(
+                spec.name,
+                params,
+                run_id,
+                runtime={"replica_chunk": runner.replica_chunk},
+            )
+        elif run_id is None:
+            run_id = RunLedger.new_run_id(spec.name)
+    log(f"campaign {spec.name}: run {run_id}" + (" (resumed)" if resume else ""))
+
+    context = CampaignContext(params=params, runner=runner, started=start)
+    reports: List[StageReport] = []
+    for name in machine.order:
+        stage = spec.stage(name)
+        report = _run_stage(
+            stage, machine, context, runner, ledger, run_id, log
+        )
+        reports.append(report)
+    if ledger is not None:
+        ledger.append(run_id, {"event": "campaign_finished"})
+    log(f"campaign {spec.name}: run {run_id} finished")
+    return CampaignRun(
+        run_id=run_id,
+        campaign=spec.name,
+        params=params,
+        outputs=context.outputs,
+        reports=reports,
+        runner_stats=runner.stats(),
+        resumed=resume,
+        wall_time_s=time.perf_counter() - start,
+    )
+
+
+def _validate_params(spec: CampaignSpec, params: Dict[str, Any]) -> None:
+    """Reject parameters the campaign does not understand.
+
+    Without this, a suite run invoked with ``--family`` (or a scenarios run
+    with ``--scale``) would silently ignore the flag *and* record it in the
+    ledger as if it had taken effect.  Specs with ``param_names=None``
+    (custom library campaigns) skip validation.
+    """
+    if spec.param_names is None:
+        return
+    unknown = sorted(set(params) - set(spec.param_names))
+    if unknown:
+        raise CampaignError(
+            f"campaign {spec.name!r} does not accept parameter(s) "
+            f"{', '.join(unknown)}; accepted: {', '.join(spec.param_names)}"
+        )
+
+
+def _restore_machine(machine: StageMachine, state: LedgerState) -> None:
+    """Rebuild stage states from a replayed ledger.
+
+    ``passed`` stages replay through the machine's own transition rules (the
+    journal is a legal history, so this cannot raise).  A stage that was
+    ``running`` at the crash stays running — the orchestrator continues it.
+    ``failed``/``blocked`` stages deliberately replay as *not started*: a
+    resume is a retry.
+    """
+    for name in machine.order:
+        recorded = state.stage_states.get(name)
+        if recorded == "passed":
+            machine.transition(name, StageState.RUNNING)
+            machine.transition(name, StageState.PASSED)
+        elif recorded == "running":
+            machine.transition(name, StageState.RUNNING)
+
+
+def _run_stage(
+    stage: CampaignStage,
+    machine: StageMachine,
+    context: CampaignContext,
+    runner: ExperimentRunner,
+    ledger: Optional[RunLedger],
+    run_id: str,
+    log: Callable[[str], None],
+) -> StageReport:
+    """Execute one stage (or re-resolve a passed one) and report on it."""
+    name = stage.name
+    current = machine.state(name)
+
+    def record(event: Dict[str, Any]) -> None:
+        if ledger is not None:
+            ledger.append(run_id, dict(event, stage=name))
+
+    if current is StageState.PASSED:
+        # Completed before the crash: re-plan and resolve purely from the
+        # cache/memo so later stages (and the final report) see its output.
+        jobs = list(stage.plan(context))
+        jobs_before = runner.jobs_run
+        results = runner.run_jobs(jobs)
+        output = stage.reduce(context, results) if stage.reduce else results
+        context.outputs[name] = output
+        recomputed = runner.jobs_run - jobs_before
+        log(
+            f"  stage {name}: already passed, {len(jobs) - recomputed} of "
+            f"{len(jobs)} job(s) served from cache"
+        )
+        return StageReport(
+            name=name,
+            requires=machine.requires(name),
+            state=StageState.PASSED.value,
+            num_jobs=len(jobs),
+            jobs_run=recomputed,
+            description=stage.description,
+        )
+
+    if current is StageState.NOT_STARTED:
+        machine.transition(name, StageState.RUNNING)
+        record({"event": "stage_started"})
+        log(f"  stage {name}: started")
+    else:  # RUNNING — interrupted mid-stage; continue it.
+        record({"event": "stage_resumed"})
+        log(f"  stage {name}: resuming interrupted stage")
+
+    jobs_before = runner.jobs_run
+    try:
+        # Planning, execution and reduction all count as the stage's work:
+        # a failure in any of them fails the stage (and blocks dependents).
+        jobs = list(stage.plan(context))
+        results = runner.run_jobs(jobs)
+        output = stage.reduce(context, results) if stage.reduce else results
+    except Exception as exc:
+        machine.transition(name, StageState.FAILED)
+        record({"event": "stage_failed", "error": str(exc)})
+        for blocked in machine.cascade_failure(name):
+            if ledger is not None:
+                ledger.append(
+                    run_id,
+                    {"event": "stage_blocked", "stage": blocked, "cause": name},
+                )
+            log(f"  stage {blocked}: blocked (depends on failed {name})")
+        raise CampaignError(f"stage {name!r} of run {run_id!r} failed: {exc}") from exc
+    recomputed = runner.jobs_run - jobs_before
+    context.outputs[name] = output
+    record(
+        {
+            "event": "jobs_finished",
+            "job_hashes": [job.job_hash for job in jobs if job.cacheable],
+        }
+    )
+    machine.transition(name, StageState.PASSED)
+    record({"event": "stage_passed"})
+    log(
+        f"  stage {name}: passed "
+        f"({len(jobs)} job(s), {recomputed} computed, {len(jobs) - recomputed} served)"
+    )
+    _maybe_simulate_kill(name, runner, log)
+    return StageReport(
+        name=name,
+        requires=machine.requires(name),
+        state=StageState.PASSED.value,
+        num_jobs=len(jobs),
+        jobs_run=recomputed,
+        description=stage.description,
+    )
+
+
+def _maybe_simulate_kill(
+    stage_name: str, runner: ExperimentRunner, log: Callable[[str], None]
+) -> None:
+    """CI hook: hard-exit after a named stage to exercise crash-safe resume.
+
+    The worker pool is shut down first: ``os._exit`` skips every cleanup, and
+    orphaned pool workers would otherwise keep inherited pipe descriptors
+    open forever (hanging ``cmd | tee`` in the smoke script).  The ledger
+    tail is unaffected — nothing after the stage's ``stage_passed`` record is
+    written either way.
+    """
+    if os.environ.get(KILL_AFTER_ENV) == stage_name:
+        log(f"  simulated kill after stage {stage_name} ({KILL_AFTER_ENV})")
+        runner.close()
+        sys.stdout.flush()
+        sys.stderr.flush()
+        os._exit(KILL_EXIT_CODE)
+
+
+def resume_campaign(
+    run_id: str,
+    ledger: RunLedger,
+    runner: Optional[ExperimentRunner] = None,
+    log: Callable[[str], None] = _default_log,
+) -> CampaignRun:
+    """Resume a killed or failed campaign run from its ledger.
+
+    The campaign spec is looked up by the name the ledger recorded, so all
+    the caller needs is the run id (``msropm campaign resume <run-id>``).
+    """
+    from repro.campaigns.builtin import get_campaign
+
+    state = ledger.replay(run_id)
+    spec = get_campaign(state.campaign)
+    return run_campaign(
+        spec,
+        runner=runner,
+        ledger=ledger,
+        run_id=run_id,
+        resume=True,
+        log=log,
+        replayed_state=state,
+    )

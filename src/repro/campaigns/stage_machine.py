@@ -1,0 +1,197 @@
+"""Stage machine: legal state transitions and prerequisite enforcement.
+
+A campaign is a DAG of named stages; the stage machine is the control-plane
+invariant keeper.  Every stage lives in exactly one :class:`StageState`, and
+only the transitions below are legal:
+
+* ``NOT_STARTED -> RUNNING`` — and only once every prerequisite stage is
+  ``PASSED`` (:class:`PrerequisiteNotMetError` otherwise),
+* ``RUNNING -> PASSED`` / ``RUNNING -> FAILED``,
+* ``NOT_STARTED -> BLOCKED`` — applied by the failure cascade: when a stage
+  fails, every transitive dependent that has not started is blocked, so a
+  campaign never executes work whose inputs are known-bad.
+
+Anything else raises :class:`InvalidTransitionError`.  The machine is pure
+in-memory state; the campaign ledger (:mod:`repro.campaigns.ledger`) records
+each transition as it happens, and a resumed campaign rebuilds the machine by
+replaying those records through the same :meth:`StageMachine.transition`
+entry point — so a ledger that replays cleanly is, by construction, a legal
+execution history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, ReproError
+
+
+class StageState(str, Enum):
+    """The lifecycle states of one campaign stage."""
+
+    NOT_STARTED = "not_started"
+    RUNNING = "running"
+    PASSED = "passed"
+    FAILED = "failed"
+    BLOCKED = "blocked"
+
+
+class InvalidTransitionError(ReproError):
+    """An illegal stage-state transition was requested."""
+
+
+class PrerequisiteNotMetError(ReproError):
+    """A stage was started before all of its prerequisites passed."""
+
+
+#: The legal (from, to) state pairs.
+_LEGAL_TRANSITIONS = frozenset(
+    {
+        (StageState.NOT_STARTED, StageState.RUNNING),
+        (StageState.RUNNING, StageState.PASSED),
+        (StageState.RUNNING, StageState.FAILED),
+        (StageState.NOT_STARTED, StageState.BLOCKED),
+    }
+)
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One applied transition (what the ledger persists per state change)."""
+
+    stage: str
+    state_transition: str  # e.g. "not_started->running"
+    state: StageState
+
+
+class StageMachine:
+    """Tracks and enforces the stage states of one campaign run.
+
+    Parameters
+    ----------
+    prerequisites:
+        Mapping of stage name to the names of the stages that must be
+        ``PASSED`` before it may start.  Declaration order is preserved;
+        :attr:`order` is a topological order of the stages that respects it.
+    """
+
+    def __init__(self, prerequisites: Mapping[str, Sequence[str]]) -> None:
+        if not prerequisites:
+            raise ConfigurationError("a campaign needs at least one stage")
+        self._requires: Dict[str, Tuple[str, ...]] = {
+            name: tuple(requires) for name, requires in prerequisites.items()
+        }
+        for name, requires in self._requires.items():
+            for dependency in requires:
+                if dependency not in self._requires:
+                    raise ConfigurationError(
+                        f"stage {name!r} requires unknown stage {dependency!r}"
+                    )
+                if dependency == name:
+                    raise ConfigurationError(f"stage {name!r} cannot require itself")
+        self.order = self._topological_order()
+        self._states: Dict[str, StageState] = {
+            name: StageState.NOT_STARTED for name in self._requires
+        }
+
+    # ------------------------------------------------------------------
+    def _topological_order(self) -> List[str]:
+        """Kahn's algorithm, stable in declaration order; rejects cycles."""
+        remaining = dict(self._requires)
+        done: List[str] = []
+        placed: set = set()
+        while remaining:
+            # Take the earliest-declared ready stage, one at a time, so the
+            # execution order matches the declaration wherever the DAG allows.
+            ready = next(
+                (
+                    name
+                    for name, requires in remaining.items()
+                    if all(dependency in placed for dependency in requires)
+                ),
+                None,
+            )
+            if ready is None:
+                raise ConfigurationError(
+                    f"campaign stages contain a dependency cycle among: "
+                    f"{', '.join(sorted(remaining))}"
+                )
+            done.append(ready)
+            placed.add(ready)
+            del remaining[ready]
+        return done
+
+    # ------------------------------------------------------------------
+    @property
+    def stage_names(self) -> List[str]:
+        """All stage names, in declaration order."""
+        return list(self._requires)
+
+    def requires(self, stage: str) -> Tuple[str, ...]:
+        """The declared prerequisites of ``stage``."""
+        self._check_known(stage)
+        return self._requires[stage]
+
+    def state(self, stage: str) -> StageState:
+        """The current state of ``stage``."""
+        self._check_known(stage)
+        return self._states[stage]
+
+    def states(self) -> Dict[str, StageState]:
+        """A snapshot of every stage's current state."""
+        return dict(self._states)
+
+    def _check_known(self, stage: str) -> None:
+        if stage not in self._requires:
+            raise ConfigurationError(
+                f"unknown stage {stage!r}; stages: {', '.join(self._requires)}"
+            )
+
+    # ------------------------------------------------------------------
+    def transition(self, stage: str, new_state: StageState) -> TransitionRecord:
+        """Apply one state transition, enforcing legality and prerequisites."""
+        self._check_known(stage)
+        new_state = StageState(new_state)
+        current = self._states[stage]
+        if (current, new_state) not in _LEGAL_TRANSITIONS:
+            raise InvalidTransitionError(
+                f"stage {stage!r} cannot go {current.value} -> {new_state.value}"
+            )
+        if new_state is StageState.RUNNING:
+            unmet = [
+                dependency
+                for dependency in self._requires[stage]
+                if self._states[dependency] is not StageState.PASSED
+            ]
+            if unmet:
+                raise PrerequisiteNotMetError(
+                    f"stage {stage!r} requires {', '.join(unmet)} to have passed"
+                )
+        self._states[stage] = new_state
+        return TransitionRecord(
+            stage=stage,
+            state_transition=f"{current.value}->{new_state.value}",
+            state=new_state,
+        )
+
+    def cascade_failure(self, failed_stage: str) -> List[str]:
+        """Block every not-yet-started transitive dependent of ``failed_stage``.
+
+        Returns the blocked stage names in topological order.  Stages already
+        terminal (passed before the failure) are left alone — their results
+        are valid regardless of what failed after them.
+        """
+        self._check_known(failed_stage)
+        poisoned = {failed_stage}
+        blocked: List[str] = []
+        for name in self.order:
+            if name in poisoned:
+                continue
+            if any(dependency in poisoned for dependency in self._requires[name]):
+                poisoned.add(name)
+                if self._states[name] is StageState.NOT_STARTED:
+                    self.transition(name, StageState.BLOCKED)
+                    blocked.append(name)
+        return blocked

@@ -37,15 +37,25 @@ Inspect the workload zoo and run the scenario matrix across it::
     msropm workloads list
     msropm workloads show --family er
     msropm scenarios --family er,regular,planar,dimacs --workers 4
+
+Run the same evaluations as resumable multi-stage campaigns (persistent run
+ledger under the cache dir; a killed run resumes from its last completed
+stage with zero recomputation)::
+
+    msropm campaign run suite --scale 0.25 --workers 4
+    msropm campaign list
+    msropm campaign status <run-id>
+    msropm campaign resume <run-id> --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import format_table, summarize_campaign_totals
 from repro.core.config import MSROPMConfig
 from repro.experiments.fig3_waveforms import render_figure3, run_figure3
 from repro.experiments.fig5_accuracy import render_figure5, run_figure5
@@ -171,6 +181,61 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument("--engine", **engine_kwargs)
     add_runtime_arguments(scenarios)
 
+    from repro.campaigns import campaign_names
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="declarative multi-stage campaigns with a persistent run ledger "
+        "and crash-safe resume",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser("run", help="start a new campaign run")
+    campaign_run.add_argument(
+        "name", help=f"campaign name (registered: {', '.join(campaign_names())})"
+    )
+    campaign_run.add_argument(
+        "--scale", type=float, default=1.0, help="problem/iteration scale (suite campaign)"
+    )
+    campaign_run.add_argument(
+        "--iterations", type=int, default=None, help="override iteration count"
+    )
+    campaign_run.add_argument("--seed", type=int, default=2025, help="base RNG seed")
+    campaign_run.add_argument("--engine", **engine_kwargs)
+    campaign_run.add_argument(
+        "--family",
+        default=None,
+        help="comma-separated workload families (scenarios campaign; default: whole zoo)",
+    )
+    campaign_run.add_argument(
+        "--baselines",
+        default=None,
+        help="comma-separated baselines (scenarios campaign; empty string skips all)",
+    )
+    campaign_run.add_argument(
+        "--run-id", default=None, help="explicit run id (default: generated)"
+    )
+    add_runtime_arguments(campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="resume a killed or failed campaign run from its ledger"
+    )
+    campaign_resume.add_argument("run_id", help="run id (see 'campaign list')")
+    add_runtime_arguments(campaign_resume)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="show one run's stage states from its ledger"
+    )
+    campaign_status.add_argument("run_id", help="run id (see 'campaign list')")
+    campaign_status.add_argument(
+        "--cache-dir", default=None, help="cache directory holding the campaign ledgers"
+    )
+
+    campaign_list = campaign_sub.add_parser("list", help="list recorded campaign runs")
+    campaign_list.add_argument(
+        "--cache-dir", default=None, help="cache directory holding the campaign ledgers"
+    )
+
     return parser
 
 
@@ -190,12 +255,18 @@ def _run_solve(args: argparse.Namespace) -> int:
         result = runner.solve(spec, config, iterations=args.iterations, seed=args.seed)
         stats = runner.stats()
     rows = [
-        [item.iteration_index, f"{item.stage1_accuracy:.3f}", f"{item.accuracy:.3f}", item.is_exact]
+        [
+            item.iteration_index,
+            f"{item.stage1_accuracy:.3f}",
+            f"{item.stage1_raw_accuracy:.3f}",
+            f"{item.accuracy:.3f}",
+            item.is_exact,
+        ]
         for item in result.iterations
     ]
     print(
         format_table(
-            ("iteration", "stage-1 accuracy", "coloring accuracy", "exact"),
+            ("iteration", "stage-1 accuracy", "stage-1 raw", "coloring accuracy", "exact"),
             rows,
             title=f"MSROPM on {title_name} ({args.colors} colors, {graph.num_nodes} nodes)",
         )
@@ -288,6 +359,110 @@ def _run_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_ledger(cache_dir: Optional[str]):
+    """The run ledger under the (explicit or default) cache directory.
+
+    The ledger deliberately ignores ``--no-cache``: the journal is the
+    control plane, not a result cache, and a run started uncached should
+    still be listable and resumable (its resume recomputes results).
+    """
+    from repro.campaigns import RunLedger, ledger_root
+
+    base = Path(cache_dir) if cache_dir else default_cache_dir()
+    return RunLedger(ledger_root(base))
+
+
+def _print_campaign_result(result) -> None:
+    final = result.final_output
+    if final is not None and hasattr(final, "render"):
+        print(final.render())
+        print()
+    print(result.render())
+    totals = summarize_campaign_totals(result.reports)
+    print(
+        f"campaign {result.run_id}: {totals['stages_passed']}/{totals['stages']} "
+        f"stage(s) passed, {totals['computed']} job(s) computed, "
+        f"{totals['served']} served from cache"
+    )
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    from repro.campaigns import get_campaign, resume_campaign, run_campaign
+
+    if args.campaign_command == "list":
+        ledger = _campaign_ledger(args.cache_dir)
+        runs = ledger.list_runs()
+        rows = [
+            [
+                state.run_id,
+                state.campaign,
+                sum(1 for value in state.stage_states.values() if value == "passed"),
+                state.num_finished_jobs,
+                "yes" if state.finished else "no",
+            ]
+            for state in runs
+        ]
+        print(
+            format_table(
+                ("Run", "Campaign", "Stages passed", "Jobs recorded", "Finished"),
+                rows,
+                title=f"Campaign runs ({ledger.root})",
+            )
+        )
+        return 0
+    if args.campaign_command == "status":
+        ledger = _campaign_ledger(args.cache_dir)
+        state = ledger.replay(args.run_id)
+        spec = get_campaign(state.campaign)
+        rows = [
+            [
+                stage.name,
+                ", ".join(stage.requires) if stage.requires else "-",
+                state.stage_states.get(stage.name, "not_started"),
+                len(state.finished_jobs.get(stage.name, [])),
+            ]
+            for stage in spec.stages
+        ]
+        print(
+            format_table(
+                ("Stage", "Requires", "State", "Jobs recorded"),
+                rows,
+                title=f"Campaign '{state.campaign}' run {state.run_id}",
+            )
+        )
+        print()
+        print(f"finished: {'yes' if state.finished else 'no'}")
+        return 0
+    ledger = _campaign_ledger(args.cache_dir)
+    if args.campaign_command == "resume":
+        with runner_from_args(args) as runner:
+            result = resume_campaign(args.run_id, ledger, runner=runner, log=print)
+        _print_campaign_result(result)
+        return 0
+    # campaign run.  Only meaningfully-set knobs go into the params — the
+    # orchestrator rejects parameters the chosen campaign does not read, so
+    # e.g. `campaign run suite --family er` fails loudly instead of silently
+    # running the full suite.
+    spec = get_campaign(args.name)
+    params = {"seed": args.seed, "engine": args.engine}
+    if args.scale != 1.0:
+        params["scale"] = args.scale
+    if args.iterations is not None:
+        params["iterations"] = args.iterations
+    if args.family:
+        params["families"] = [name.strip() for name in args.family.split(",") if name.strip()]
+    if args.baselines is not None:
+        params["baselines"] = [
+            name.strip() for name in args.baselines.split(",") if name.strip()
+        ]
+    with runner_from_args(args) as runner:
+        result = run_campaign(
+            spec, params, runner=runner, ledger=ledger, run_id=args.run_id, log=print
+        )
+    _print_campaign_result(result)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``msropm`` command."""
     parser = build_parser()
@@ -346,6 +521,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_workloads(args)
     if args.command == "scenarios":
         return _run_scenarios(args)
+    if args.command == "campaign":
+        return _run_campaign(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -285,7 +285,7 @@ class MSROPM:
             reference = self._stage1_reference_cut
         else:
             reference = max(1, active_edges)
-        accuracy = min(1.0, cut_value / reference) if reference > 0 else 1.0
+        raw = cut_value / reference if reference > 0 else 1.0
         side_a = frozenset(node for node, bit in zip(self._nodes, bits) if bit == 0)
         side_b = frozenset(node for node, bit in zip(self._nodes, bits) if bit == 1)
         partition = Bipartition(side_a=side_a, side_b=side_b)
@@ -294,7 +294,8 @@ class MSROPM:
             partition=partition,
             cut_value=cut_value,
             reference_cut=int(reference),
-            accuracy=float(accuracy),
+            accuracy=float(min(1.0, raw)),
+            raw_accuracy=float(raw),
         )
 
     def _score_stage_batch(
@@ -325,7 +326,7 @@ class MSROPM:
                 reference = self._stage1_reference_cut
             else:
                 reference = max(1, int(active_counts[replica]))
-            accuracy = min(1.0, cut_value / reference) if reference > 0 else 1.0
+            raw = cut_value / reference if reference > 0 else 1.0
             row = bits[replica]
             side_a = frozenset(node for node, bit in zip(nodes, row) if bit == 0)
             side_b = frozenset(node for node, bit in zip(nodes, row) if bit == 1)
@@ -335,7 +336,8 @@ class MSROPM:
                     partition=Bipartition(side_a=side_a, side_b=side_b),
                     cut_value=cut_value,
                     reference_cut=int(reference),
-                    accuracy=float(accuracy),
+                    accuracy=float(min(1.0, raw)),
+                    raw_accuracy=float(raw),
                 )
             )
         return results

@@ -39,7 +39,13 @@ class StageResult:
     reference_cut:
         Normalization used for the stage accuracy.
     accuracy:
-        ``cut_value / reference_cut`` clipped to [0, 1].
+        ``cut_value / reference_cut`` clipped to [0, 1] (the paper's metric).
+    raw_accuracy:
+        The same ratio *unclipped*: against a heuristic reference (e.g. the
+        King's striping cut) the machine can land above 1.0, and hiding that
+        would overstate the reference.  ``None`` only for legacy records
+        built before the field existed; :attr:`raw` falls back to the
+        clipped value then.
     final_phases:
         Oscillator phases at the end of the stage (radians, aligned with the
         machine's node order).
@@ -50,7 +56,13 @@ class StageResult:
     cut_value: int
     reference_cut: int
     accuracy: float
+    raw_accuracy: Optional[float] = None
     final_phases: Optional[np.ndarray] = None
+
+    @property
+    def raw(self) -> float:
+        """The unclipped accuracy ratio (falls back to the clipped metric)."""
+        return self.accuracy if self.raw_accuracy is None else self.raw_accuracy
 
 
 @dataclass
@@ -95,6 +107,17 @@ class IterationResult:
         return self.stage_results[0].accuracy
 
     @property
+    def stage1_raw_accuracy(self) -> float:
+        """Unclipped stage-1 accuracy ratio (the machine's internal number).
+
+        Reported alongside the [0, 1] paper metric: values above 1.0 mean the
+        stage beat its heuristic reference cut.
+        """
+        if not self.stage_results:
+            return 1.0
+        return self.stage_results[0].raw
+
+    @property
     def is_exact(self) -> bool:
         """``True`` when the run found a proper coloring (accuracy 1.0)."""
         return self.accuracy >= 1.0 - 1e-12
@@ -137,6 +160,15 @@ class SolveResult:
     def stage1_accuracies(self) -> np.ndarray:
         """Per-iteration stage-1 (max-cut) accuracies (Fig. 5(b))."""
         return np.array([item.stage1_accuracy for item in self.iterations], dtype=float)
+
+    @property
+    def stage1_raw_accuracies(self) -> np.ndarray:
+        """Per-iteration *unclipped* stage-1 accuracy ratios.
+
+        The machine's internal numbers before the [0, 1] presentation clip;
+        may exceed 1.0 against heuristic reference cuts.
+        """
+        return np.array([item.stage1_raw_accuracy for item in self.iterations], dtype=float)
 
     @property
     def colorings(self) -> List[Coloring]:

@@ -13,9 +13,13 @@ compared against the software/hardware baselines:
   (max-cut workloads),
 * **single-stage** — the single-stage N-SHIL ROPM (prior work [14]).
 
-Baselines run in the parent process with seeds derived stably from the
-scenario seed, so the full matrix is bit-identical between ``--workers 1``
-and ``--workers N`` and cache-hittable across invocations.
+Baselines are first-class scheduler jobs
+(:class:`repro.runtime.baselines.BaselineJob`): the matrix plans one job per
+(baseline, instance), submits the whole batch through the runner, and the
+warm process pool shards MSROPM solves and baseline runs alike.  Seeds derive
+stably from the scenario seed and results are collected in submission order,
+so the full matrix is bit-identical between ``--workers 1`` and
+``--workers N`` and cache-hittable across invocations.
 
 Accuracies are *raw ratios*: coloring workloads report the fraction of
 properly colored edges; max-cut workloads report ``cut / reference_cut``,
@@ -43,6 +47,12 @@ from repro.core.config import MSROPMConfig
 from repro.core.results import SolveResult
 from repro.experiments.problems import default_config
 from repro.graphs.graph import Graph
+from repro.runtime.baselines import (
+    BASELINE_NAMES,
+    BaselineJob,
+    coloring_cut_ratio,
+    cut_ratio,
+)
 from repro.runtime.runner import ExperimentRunner, SolveRequest
 from repro.workloads.registry import (
     ReferenceSolution,
@@ -52,8 +62,9 @@ from repro.workloads.registry import (
     expand_workloads,
 )
 
-#: Baselines the matrix can run, in display order.
-SCENARIO_BASELINES = ("sa", "tabu", "roim", "single_stage")
+#: Baselines the matrix can run, in display order (the runtime's canonical
+#: list — one source of truth for baseline names).
+SCENARIO_BASELINES = BASELINE_NAMES
 
 
 @dataclass(frozen=True)
@@ -182,17 +193,6 @@ def _baseline_seed(seed: int, baseline: str, instance: WorkloadInstance) -> int:
     return derive_instance_seed(seed, f"{baseline}:{instance.family}:{instance.label}", 0, 0)
 
 
-def _cut_ratio(edge_fraction: float, num_edges: int, reference_cut: Optional[float]) -> float:
-    """Rescale a properly-cut-edge fraction to the raw ``cut / reference`` ratio.
-
-    A 2-coloring's accuracy is the fraction of bichromatic (= cut) edges, so
-    ``fraction * num_edges`` is the cut value on unit-weight graphs.
-    """
-    if reference_cut is None or reference_cut <= 0:
-        return float(edge_fraction)
-    return float(edge_fraction * num_edges / reference_cut)
-
-
 def plan_scenario_requests(
     instances: Sequence[WorkloadInstance],
     iterations: int = 5,
@@ -222,68 +222,66 @@ def plan_scenario_requests(
     ]
 
 
-def _run_baseline(
-    name: str,
-    instance: WorkloadInstance,
-    graph: Graph,
-    reference: ReferenceSolution,
-    config: MSROPMConfig,
-    iterations: int,
-    seed: int,
-) -> Optional[float]:
-    """Run one baseline on one instance; ``None`` when it does not apply.
+def plan_baseline_jobs(
+    instances: Sequence[WorkloadInstance],
+    references: Sequence[ReferenceSolution],
+    iterations: int = 5,
+    seed: int = 2025,
+    config: Optional[MSROPMConfig] = None,
+    engine: Optional[str] = None,
+    baselines: Sequence[str] = SCENARIO_BASELINES,
+) -> List[BaselineJob]:
+    """The matrix's baseline jobs: one per (instance, baseline), instance-major.
 
     Every baseline gets the same ``iterations`` budget as the MSROPM and
     reports its best run, so the matrix compares best-of-N against best-of-N.
+    Jobs whose baseline does not apply to the workload kind are still planned
+    (their payload is ``accuracy: None``): applicability is the baseline's own
+    knowledge, and keeping the plan rectangular keeps result mapping trivial.
     """
-    from repro.rng import iteration_seeds
-
-    bseed = _baseline_seed(seed, name, instance)
-    run_seeds = iteration_seeds(bseed, iterations)
-    if instance.kind == "coloring":
-        if name == "sa":
-            from repro.baselines.simulated_annealing import anneal_coloring
-
-            return max(
-                anneal_coloring(graph, instance.num_colors, seed=s).accuracy(graph)
-                for s in run_seeds
+    base = config or default_config(seed)
+    if engine is not None:
+        base = base.with_updates(engine=engine)
+    jobs: List[BaselineJob] = []
+    for instance, reference in zip(instances, references):
+        for name in baselines:
+            jobs.append(
+                BaselineJob(
+                    instance=instance,
+                    baseline=name,
+                    config=base.with_updates(num_colors=instance.num_colors),
+                    iterations=iterations,
+                    seed=_baseline_seed(seed, name, instance),
+                    reference_cut=reference.reference_cut,
+                )
             )
-        if name == "tabu":
-            from repro.baselines.tabu import tabucol
+    return jobs
 
-            return max(
-                tabucol(graph, instance.num_colors, seed=s).accuracy(graph)
-                for s in run_seeds
-            )
-        if name == "single_stage":
-            from repro.baselines.single_stage_ropm import SingleStageROPM
 
-            machine = SingleStageROPM(graph, num_colors=instance.num_colors, config=config)
-            return float(machine.solve(iterations=iterations, seed=bseed).best_accuracy)
-        return None  # ROIM solves max-cut, not coloring
-    # ------------------------------------------------------------ max-cut kind
-    reference_cut = reference.reference_cut
-    if name == "sa":
-        from repro.baselines.simulated_annealing import anneal_maxcut
-        from repro.ising.maxcut import MaxCutProblem
+def _maxcut_accuracies(
+    instance: WorkloadInstance,
+    graph: Graph,
+    solve: SolveResult,
+    reference_cut: Optional[float],
+) -> Tuple[float, ...]:
+    """Per-iteration raw cut ratios of the MSROPM column on a max-cut workload.
 
-        problem = MaxCutProblem(graph)
-        return max(
-            problem.accuracy(anneal_maxcut(problem, seed=s), reference_cut=reference_cut)
-            for s in run_seeds
+    Unit-weight instances rescale the bichromatic-edge fraction (exactly the
+    cut on unweighted graphs); weighted instances re-score each iteration's
+    partition against the weighted objective.
+    """
+    weights = instance.edge_weights(graph)
+    if weights is None:
+        return tuple(
+            cut_ratio(value, graph.num_edges, reference_cut) for value in solve.accuracies
         )
-    if name == "roim":
-        from repro.baselines.roim_maxcut import ROIMMaxCut
+    from repro.ising.maxcut import MaxCutProblem
 
-        roim = ROIMMaxCut(graph, config=config, reference_cut=reference_cut)
-        return float(roim.best_of(iterations=iterations, seed=bseed).accuracy)
-    if name == "single_stage":
-        from repro.baselines.single_stage_ropm import SingleStageROPM
-
-        machine = SingleStageROPM(graph, num_colors=instance.num_colors, config=config)
-        best = float(machine.solve(iterations=iterations, seed=bseed).best_accuracy)
-        return _cut_ratio(best, graph.num_edges, reference_cut)
-    return None  # TabuCol colors, it does not cut
+    problem = MaxCutProblem(graph, weights=weights)
+    return tuple(
+        coloring_cut_ratio(problem, graph, item.coloring, reference_cut)
+        for item in solve.iterations
+    )
 
 
 def run_scenario_matrix(
@@ -298,10 +296,10 @@ def run_scenario_matrix(
     """Run the MSROPM and the baselines across the zoo's workload instances.
 
     ``families`` selects registry families (``None`` = all); ``runner``
-    supplies the execution runtime for the MSROPM solves (``None`` = serial,
-    uncached).  Per seed the matrix is bit-identical regardless of the
-    runner's worker count, and a cache-backed runner resolves warm reruns
-    without a single solve.
+    supplies the execution runtime for MSROPM solves *and* baseline jobs
+    (``None`` = serial, uncached).  Per seed the matrix is bit-identical
+    regardless of the runner's worker count, and a cache-backed runner
+    resolves warm reruns without a single solve or baseline run.
     """
     for name in baselines:
         if name not in SCENARIO_BASELINES:
@@ -316,26 +314,46 @@ def run_scenario_matrix(
     )
     solves: List[SolveResult] = runner.solve_many(requests)
 
+    # Reference solutions depend only on the content-addressed spec, so they
+    # ride in the runner's result cache: warm matrix reruns skip the exact
+    # backtracking searches along with the solves.  They are computed before
+    # the baseline batch because reference cuts are part of each baseline
+    # job's content hash.
+    graphs = [instance.build() for instance in instances]
+    references = [
+        cached_reference(instance, graph, cache=runner.cache)
+        for instance, graph in zip(instances, graphs)
+    ]
+
+    # The baseline column as one sharded batch through the same runner.
+    baseline_jobs = plan_baseline_jobs(
+        instances,
+        references,
+        iterations=iterations,
+        seed=seed,
+        config=config,
+        engine=engine,
+        baselines=baselines,
+    )
+    payloads = runner.run_jobs(baseline_jobs)
+    per_instance_baselines: List[Dict[str, Optional[float]]] = []
+    cursor = 0
+    for _ in instances:
+        values = {
+            name: payloads[cursor + offset]["accuracy"]
+            for offset, name in enumerate(baselines)
+        }
+        cursor += len(baselines)
+        per_instance_baselines.append(values)
+
     rows: List[ScenarioRow] = []
-    for instance, request, solve in zip(instances, requests, solves):
-        graph = instance.build()
-        # Reference solutions depend only on the content-addressed spec, so
-        # they ride in the runner's result cache: warm matrix reruns skip the
-        # exact backtracking searches along with the solves.
-        reference = cached_reference(instance, graph, cache=runner.cache)
+    for instance, graph, reference, solve, baseline_values in zip(
+        instances, graphs, references, solves, per_instance_baselines
+    ):
         if instance.kind == "maxcut":
-            accuracies = tuple(
-                _cut_ratio(value, graph.num_edges, reference.reference_cut)
-                for value in solve.accuracies
-            )
+            accuracies = _maxcut_accuracies(instance, graph, solve, reference.reference_cut)
         else:
             accuracies = tuple(float(value) for value in solve.accuracies)
-        baseline_values = {
-            name: _run_baseline(
-                name, instance, graph, reference, request.config, iterations, seed
-            )
-            for name in baselines
-        }
         rows.append(
             ScenarioRow(
                 family=instance.family,

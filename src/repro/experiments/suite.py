@@ -11,6 +11,12 @@ then run against the warmed runner and resolve entirely from its memo/cache.
 
 With a persistent cache directory, a second ``msropm suite`` invocation skips
 every solve and renders straight from disk.
+
+The suite also exists as the built-in ``suite`` *campaign*
+(:mod:`repro.campaigns.builtin`): the same planners as separate ledgered
+stages with the Table 1 / Fig. 5 overlap as an explicit dependency, which is
+the resumable form (``msropm campaign run suite``).  Both forms share job
+hashes, so either one warms the other's cache.
 """
 
 from __future__ import annotations

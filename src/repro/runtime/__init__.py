@@ -17,21 +17,26 @@ from repro.runtime.jobs import (
     ExplicitGraphSpec,
     GeneratedGraphSpec,
     GraphSpec,
+    Job,
     KingsGraphSpec,
     SolveJob,
     as_graph_spec,
     merge_job_results,
 )
+from repro.runtime.baselines import BASELINE_NAMES, BaselineJob, cut_ratio, run_baseline
 from repro.runtime.runner import ExperimentRunner, SolveRequest
 from repro.runtime.scheduler import JobScheduler
 
 __all__ = [
+    "BASELINE_NAMES",
     "CACHE_SCHEMA_VERSION",
     "JOB_SCHEMA_VERSION",
+    "BaselineJob",
     "DimacsGraphSpec",
     "ExplicitGraphSpec",
     "GeneratedGraphSpec",
     "GraphSpec",
+    "Job",
     "KingsGraphSpec",
     "SolveJob",
     "SolveRequest",
@@ -39,6 +44,8 @@ __all__ = [
     "JobScheduler",
     "ResultCache",
     "as_graph_spec",
+    "cut_ratio",
     "default_cache_dir",
     "merge_job_results",
+    "run_baseline",
 ]

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result cache for solve jobs.
+"""Content-addressed on-disk result cache for runtime jobs.
 
 The evaluation grid is highly redundant across invocations: rerunning Table 1
 after a code-free change, rendering Fig. 5 for the sizes Table 1 already
@@ -30,16 +30,18 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.exceptions import ReproError
-from repro.analysis.results_io import solve_result_from_dict, solve_result_to_dict
-from repro.core.results import SolveResult
-from repro.runtime.jobs import SolveJob
+from repro.runtime.jobs import Job
 
 #: Version of the cache envelope.  Bump on envelope layout changes; old
 #: entries then read as misses and are recomputed.
-CACHE_SCHEMA_VERSION = 1
+#:
+#: History: 1 — SolveJob-only entries.  2 — polymorphic job entries (the
+#: envelope's ``job`` description carries ``job_kind``, and the payload is
+#: whatever the job type serializes).
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "MSROPM_CACHE_DIR"
@@ -54,7 +56,12 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """Content-addressed store of :class:`SolveResult` payloads, one per job.
+    """Content-addressed store of job result payloads, one entry per job.
+
+    Entries are keyed by :attr:`repro.runtime.jobs.Job.job_hash` and store the
+    job's own serialized payload form (``job.encode``), so every job type —
+    MSROPM solves, baseline runs — shares one store with uniform atomicity,
+    invalidation and miss semantics.
 
     Parameters
     ----------
@@ -76,11 +83,13 @@ class ResultCache:
         """The entry path for a job hash (two-level hash sharding)."""
         return self.root / job_hash[:2] / f"{job_hash}.json"
 
-    def load(self, job: SolveJob) -> Optional[SolveResult]:
-        """Return the cached results for ``job``, or ``None`` on any miss.
+    def load(self, job: Job) -> Optional[Any]:
+        """Return the cached, decoded result for ``job``, or ``None`` on miss.
 
         Unreadable and schema-mismatched entries count as misses by design:
-        they will be overwritten by the recomputed result.
+        they will be overwritten by the recomputed result.  The job itself
+        decodes and validates the stored payload, so a partial or foreign
+        entry under our key (``job.validate`` fails) also reads as a miss.
         """
         if not job.cacheable:
             return None
@@ -93,26 +102,25 @@ class ResultCache:
                 or envelope.get("job_hash") != job.job_hash
             ):
                 raise ReproError("cache envelope mismatch")
-            result = solve_result_from_dict(envelope["result"])
+            result = job.decode(envelope["result"])
+            if not job.validate(result):
+                raise ReproError("cache entry fails job validation")
         except (OSError, ValueError, KeyError, TypeError, IndexError, ReproError):
-            self.misses += 1
-            return None
-        if len(result.iterations) != job.num_replicas:
-            # A partial/foreign entry under our key: recompute.
             self.misses += 1
             return None
         self.hits += 1
         return result
 
-    def store(self, job: SolveJob, result: SolveResult) -> None:
-        """Persist ``result`` for ``job`` (atomic write, last writer wins)."""
+    def store(self, job: Job, result: Any) -> None:
+        """Persist a decoded ``result`` for ``job`` (atomic write, last writer
+        wins).  The job serializes its own payload via ``job.encode``."""
         if not job.cacheable:
             return
         envelope = {
             "cache_schema": CACHE_SCHEMA_VERSION,
             "job_hash": job.job_hash,
             "job": job.describe(),
-            "result": solve_result_to_dict(result),
+            "result": job.encode(result),
         }
         self._write_atomic(self.path_for(job.job_hash), envelope)
         self.stores += 1

@@ -1,17 +1,25 @@
-"""Solve jobs: the schedulable unit of work of the experiment runtime.
+"""Jobs: the schedulable units of work of the experiment runtime.
 
-Every number in the paper's evaluation comes from the same primitive: "run the
-machine on graph G with configuration C, seeded from S, for iterations
-[a, b) of an R-iteration solve".  :class:`SolveJob` reifies that primitive as
-a picklable value object with a *stable content hash*, which is what makes the
-rest of the runtime possible:
+The runtime's primitive is the :class:`Job` protocol — a picklable value
+object with a *stable content hash* and a worker-executable body — which is
+what makes the rest of the runtime possible:
 
-* the :mod:`repro.runtime.scheduler` ships jobs to worker processes (pickle),
+* the :mod:`repro.runtime.scheduler` ships jobs to worker processes (pickle)
+  and collects their JSON payloads in submission order,
 * the :mod:`repro.runtime.cache` keys its on-disk entries by the job hash,
-* replica-range chunking (``SolveJob.split``) shards one large solve into
-  several jobs whose merged results are bit-identical to the unchunked run,
-  because per-iteration seeds are derived from the *full* solve up front and
-  every replica consumes only its own RNG stream.
+* the :class:`~repro.runtime.runner.ExperimentRunner` deduplicates identical
+  jobs across experiments by that same hash.
+
+:class:`SolveJob` is the MSROPM instantiation: "run the machine on graph G
+with configuration C, seeded from S, for iterations [a, b) of an R-iteration
+solve".  Replica-range chunking (``SolveJob.split``) shards one large solve
+into several jobs whose merged results are bit-identical to the unchunked
+run, because per-iteration seeds are derived from the *full* solve up front
+and every replica consumes only its own RNG stream.
+:class:`repro.runtime.baselines.BaselineJob` wraps the SA/tabu/ROIM/
+single-stage baseline solvers in the same protocol, so the scenario matrix's
+baseline column shards across the warm process pool exactly like the MSROPM
+column does.
 
 Graphs are carried as :class:`GraphSpec` descriptions rather than instances so
 a job stays small on the wire and content-addressable: a King's board by its
@@ -29,7 +37,7 @@ from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from functools import cached_property
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.exceptions import ConfigurationError
 from repro.core.config import MSROPMConfig
@@ -39,7 +47,12 @@ from repro.graphs.graph import Graph
 #: Version of the job-hash recipe.  Bump whenever the hashed payload or the
 #: solver semantics change in a result-affecting way; every cache entry keyed
 #: under the old recipe then misses and is recomputed cleanly.
-JOB_SCHEMA_VERSION = 1
+#:
+#: History: 1 — MSROPM-only SolveJobs.  2 — polymorphic job protocol
+#: (``job_kind`` in the hashed identity) and the raw (unclipped) stage-1
+#: accuracy added to persisted results; cached v1 entries would deserialize
+#: without the raw field, so they are invalidated wholesale.
+JOB_SCHEMA_VERSION = 2
 
 
 def _sha256_text(text: str) -> str:
@@ -254,10 +267,87 @@ def as_graph_spec(source: Union[GraphSpec, Graph, str, Path]) -> GraphSpec:
 
 
 # ----------------------------------------------------------------------
-# Jobs
+# The job protocol
+# ----------------------------------------------------------------------
+class Job(ABC):
+    """A schedulable, content-addressable unit of work.
+
+    Every job type the runtime can shard — MSROPM solves, baseline runs,
+    campaign stage work — implements this protocol.  The contract:
+
+    * the job is a small picklable value object (it crosses process
+      boundaries whole),
+    * :meth:`execute` runs the work and returns a *JSON-serializable payload*
+      — the wire format between worker and parent and the on-disk cache
+      format, so a result is identical whether it was computed inline, in a
+      worker process, or read back from the cache,
+    * :meth:`decode` turns a payload back into the rich result the caller
+      consumes; :meth:`encode` is its inverse (used when storing a decoded
+      result),
+    * :meth:`describe` is the job's full hashed identity; two jobs with equal
+      descriptions are interchangeable and share one cache entry.
+
+    ``job_kind`` namespaces the hash so two different job types can never
+    collide on one cache entry, even if their remaining payloads matched.
+    """
+
+    #: Short tag naming the job type; folded into the content hash.
+    job_kind: str = "job"
+
+    @property
+    @abstractmethod
+    def cacheable(self) -> bool:
+        """Whether the job is deterministic (safe to content-hash and cache)."""
+
+    @abstractmethod
+    def describe(self) -> Dict:
+        """The hashed identity of the job as a JSON-able dictionary."""
+
+    @property
+    @abstractmethod
+    def label(self) -> str:
+        """Short human-readable name for progress output."""
+
+    @abstractmethod
+    def execute(self) -> Dict:
+        """Run the job (in the worker process) and return its JSON payload."""
+
+    @abstractmethod
+    def decode(self, payload: Dict) -> Any:
+        """Rebuild the rich result from a payload (parent side)."""
+
+    def encode(self, result: Any) -> Dict:
+        """Serialize a decoded result back to the payload form.
+
+        The default assumes the decoded result *is* the payload (true for
+        jobs whose results are plain dictionaries); jobs with rich result
+        objects override this with their serializer.
+        """
+        return result
+
+    def validate(self, result: Any) -> bool:
+        """Whether a decoded (possibly cached) result is complete for this job.
+
+        The cache calls this on loaded entries; returning ``False`` turns a
+        partial or foreign entry under our key into a miss.
+        """
+        return True
+
+    @cached_property
+    def job_hash(self) -> str:
+        """Stable SHA-256 content hash of the job (cache key, dedup key)."""
+        if not self.cacheable:
+            raise ConfigurationError(
+                "jobs without a fixed seed are nondeterministic and have no content hash"
+            )
+        return _sha256_text(canonical_json(self.describe()))
+
+
+# ----------------------------------------------------------------------
+# MSROPM solve jobs
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class SolveJob:
+class SolveJob(Job):
     """One schedulable solve: graph + config + seed + replica range.
 
     ``replica_start``/``replica_stop`` select iterations ``[start, stop)`` of
@@ -274,6 +364,8 @@ class SolveJob:
     total_iterations: int
     replica_start: int = 0
     replica_stop: Optional[int] = None
+
+    job_kind = "solve"
 
     def __post_init__(self) -> None:
         if self.total_iterations < 1:
@@ -321,6 +413,7 @@ class SolveJob:
         from repro.analysis.results_io import FORMAT_VERSION
 
         return {
+            "job_kind": self.job_kind,
             "job_schema": JOB_SCHEMA_VERSION,
             "results_format": FORMAT_VERSION,
             "graph": self.spec.fingerprint(),
@@ -330,15 +423,6 @@ class SolveJob:
             "replica_start": self.replica_start,
             "replica_stop": self.stop,
         }
-
-    @cached_property
-    def job_hash(self) -> str:
-        """Stable SHA-256 content hash of the job (cache key, dedup key)."""
-        if not self.cacheable:
-            raise ConfigurationError(
-                "jobs without a fixed seed are nondeterministic and have no content hash"
-            )
-        return _sha256_text(canonical_json(self.describe()))
 
     @property
     def label(self) -> str:
@@ -410,6 +494,29 @@ class SolveJob:
             seed=self.seed,
         )
         return SolveResult(graph=graph, num_colors=self.config.num_colors, iterations=iterations)
+
+    # ------------------------------------------------------------------
+    # Job protocol
+    # ------------------------------------------------------------------
+    def execute(self) -> Dict:
+        """Run the solve and return its persisted-form payload."""
+        from repro.analysis.results_io import solve_result_to_dict
+
+        return solve_result_to_dict(self.run())
+
+    def decode(self, payload: Dict) -> SolveResult:
+        from repro.analysis.results_io import solve_result_from_dict
+
+        return solve_result_from_dict(payload)
+
+    def encode(self, result: SolveResult) -> Dict:
+        from repro.analysis.results_io import solve_result_to_dict
+
+        return solve_result_to_dict(result)
+
+    def validate(self, result: SolveResult) -> bool:
+        """A cached entry must carry exactly this job's replica range."""
+        return len(result.iterations) == self.num_replicas
 
 
 # ----------------------------------------------------------------------

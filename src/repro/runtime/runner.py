@@ -28,13 +28,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.config import MSROPMConfig
 from repro.core.results import SolveResult
 from repro.graphs.graph import Graph
 from repro.runtime.cache import ResultCache
-from repro.runtime.jobs import GraphSpec, SolveJob, as_graph_spec, merge_job_results
+from repro.runtime.jobs import GraphSpec, Job, SolveJob, as_graph_spec, merge_job_results
 from repro.runtime.scheduler import JobScheduler
 
 
@@ -130,31 +130,20 @@ class ExperimentRunner:
         )
         return self.solve_many([request])[0]
 
-    def solve_many(self, requests: Sequence[SolveRequest]) -> List[SolveResult]:
-        """Solve a batch of requests, sharding all their jobs across the pool.
+    def run_jobs(self, jobs: Sequence[Job]) -> List[Any]:
+        """Run a batch of jobs (any mix of types), returning decoded results
+        in submission order.
 
-        Returns one merged :class:`SolveResult` per request, in request order.
-        Submitting the whole batch at once (rather than request-by-request) is
-        what lets the pool interleave problems, sweep points and replica
-        chunks freely.
+        This is the generic execution path every batch goes through: jobs
+        already answered by the in-process memo or the disk cache are skipped,
+        identical jobs are deduplicated by content hash and computed once, and
+        the remainder shards across the scheduler's worker pool.
         """
-        per_request_jobs: List[List[SolveJob]] = []
-        for request in requests:
-            job = SolveJob(
-                spec=request.spec,
-                config=request.config,
-                seed=request.seed,
-                total_iterations=request.iterations,
-            )
-            per_request_jobs.append(job.split(self.replica_chunk))
-
-        # Resolve every job against the memo and the disk cache; collect the
-        # rest for scheduling, deduplicated by content hash.
-        resolved: Dict[int, SolveResult] = {}
-        pending: List[SolveJob] = []
+        jobs = list(jobs)
+        resolved: Dict[int, Any] = {}
+        pending: List[Job] = []
         pending_keys: set = set()
-        flat: List[SolveJob] = [job for jobs in per_request_jobs for job in jobs]
-        for position, job in enumerate(flat):
+        for position, job in enumerate(jobs):
             key = job.job_hash if job.cacheable else None
             if key is not None and key in self._memo:
                 resolved[position] = self._memo[key]
@@ -183,19 +172,50 @@ class ExperimentRunner:
         next_uncacheable = iter(
             result for job, result in zip(pending, fresh) if not job.cacheable
         )
-        for position, job in enumerate(flat):
+        for position, job in enumerate(jobs):
             if position in resolved:
                 continue
             if job.cacheable:
                 resolved[position] = self._memo[job.job_hash]
             else:
                 resolved[position] = next(next_uncacheable)
+        return [resolved[position] for position in range(len(jobs))]
+
+    def plan_jobs(self, requests: Sequence[SolveRequest]) -> List[List[SolveJob]]:
+        """The per-request job lists ``solve_many`` would schedule.
+
+        Chunk boundaries come from this runner's ``replica_chunk``, so the
+        returned jobs carry exactly the hashes a ``solve_many`` call (or a
+        campaign stage built on this planner) addresses in the cache.
+        """
+        per_request_jobs: List[List[SolveJob]] = []
+        for request in requests:
+            job = SolveJob(
+                spec=request.spec,
+                config=request.config,
+                seed=request.seed,
+                total_iterations=request.iterations,
+            )
+            per_request_jobs.append(job.split(self.replica_chunk))
+        return per_request_jobs
+
+    def solve_many(self, requests: Sequence[SolveRequest]) -> List[SolveResult]:
+        """Solve a batch of requests, sharding all their jobs across the pool.
+
+        Returns one merged :class:`SolveResult` per request, in request order.
+        Submitting the whole batch at once (rather than request-by-request) is
+        what lets the pool interleave problems, sweep points and replica
+        chunks freely.
+        """
+        per_request_jobs = self.plan_jobs(requests)
+        flat: List[SolveJob] = [job for jobs in per_request_jobs for job in jobs]
+        resolved = self.run_jobs(flat)
 
         # Merge chunks back per request, in submission order.
         results: List[SolveResult] = []
         cursor = 0
         for jobs in per_request_jobs:
-            chunk_results = [resolved[cursor + offset] for offset in range(len(jobs))]
+            chunk_results = resolved[cursor:cursor + len(jobs)]
             cursor += len(jobs)
             results.append(merge_job_results(jobs, chunk_results))
         return results

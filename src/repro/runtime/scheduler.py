@@ -1,4 +1,4 @@
-"""Process-pool scheduler: shard solve jobs across a warm pool of workers.
+"""Process-pool scheduler: shard runtime jobs across a warm pool of workers.
 
 The evaluation grid (problems x sweep points x replica chunks) is
 embarrassingly parallel — jobs share no state, and every job is seeded — so
@@ -20,10 +20,9 @@ fan-out with order-preserving collection.  Four properties matter:
   BLAS/OpenMP thread pools (one numpy thread per worker process), so
   process-level parallelism is never oversubscribed by GEMM threads.  Close
   the scheduler (context manager, :meth:`close`) to release the workers.
-* **Normalized payloads.**  Workers return results in the persisted form of
-  :mod:`repro.analysis.results_io` (the same form the cache stores), so a
-  result is identical whether it came from the serial path, a worker process,
-  or a cache hit.
+* **Normalized payloads.**  Workers return results in each job's persisted
+  JSON form (the same form the cache stores), so a result is identical
+  whether it came from the serial path, a worker process, or a cache hit.
 """
 
 from __future__ import annotations
@@ -32,12 +31,10 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
-from repro.analysis.results_io import solve_result_from_dict, solve_result_to_dict
-from repro.core.results import SolveResult
-from repro.runtime.jobs import SolveJob
+from repro.runtime.jobs import Job
 
 #: Thread-pool environment caps applied to worker processes (and defaulted in
 #: the parent before the pool forks/spawns, so the libraries that read them at
@@ -156,18 +153,20 @@ def _worker_init(thread_caps: Dict[str, str]) -> None:
     import repro.workloads.registry  # noqa: F401
 
 
-def _execute_job(job: SolveJob) -> Dict:
+def _execute_job(job: Job) -> Dict:
     """Worker entry point: run one job and return its persisted-form payload.
 
     Module-level (not a closure) so it pickles under every multiprocessing
     start method; the dict payload keeps the parent<->worker wire format
-    identical to the cache format.
+    identical to the cache format for every job type.
     """
-    return solve_result_to_dict(job.run())
+    return job.execute()
 
 
 class JobScheduler:
-    """Executes batches of :class:`SolveJob` across a warm process pool.
+    """Executes batches of :class:`~repro.runtime.jobs.Job` across a warm
+    process pool.  Any mix of job types can share one batch: each job ships
+    its own ``execute`` body and decodes its own payload.
 
     Parameters
     ----------
@@ -240,13 +239,13 @@ class JobScheduler:
             pass
 
     # ------------------------------------------------------------------
-    def run(self, jobs: Sequence[SolveJob]) -> List[SolveResult]:
-        """Run ``jobs`` and return their results in submission order."""
+    def run(self, jobs: Sequence[Job]) -> List[Any]:
+        """Run ``jobs`` and return their decoded results in submission order."""
         jobs = list(jobs)
         if not jobs:
             return []
         if self.workers == 1 or len(jobs) == 1:
-            return [solve_result_from_dict(_execute_job(job)) for job in jobs]
+            return [job.decode(_execute_job(job)) for job in jobs]
         # Without an explicit chunksize, pool.map ships jobs one at a time and
         # a scenario matrix of many small jobs serializes on IPC round-trips.
         # Target ~4 chunks per worker: big enough to amortize pickling, small
@@ -256,7 +255,7 @@ class JobScheduler:
         pool = self._ensure_pool()
         try:
             payloads = pool.map(_execute_job, jobs, chunksize=chunksize)
-            return [solve_result_from_dict(payload) for payload in payloads]
+            return [job.decode(payload) for job, payload in zip(jobs, payloads)]
         except BrokenProcessPool:
             # A dead worker poisons the whole executor; drop it so the next
             # batch starts a fresh pool instead of failing forever.

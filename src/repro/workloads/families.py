@@ -12,7 +12,12 @@ runtime specs:
 * ``dimacs`` — bundled ``.col`` instances under ``workloads/data/``
   (deterministic, by file content hash);
 * ``maxcut`` — max-cut scenarios on King's boards, solved with 2 colors and
-  normalized against the reference striping cut.
+  normalized against the reference striping cut;
+* ``wmaxcut`` — *weighted* max-cut ensembles on King's boards: per-edge
+  integer weights drawn from the instance seed (cross-process stable, folded
+  into the recipe hash), normalized against the total-weight upper bound;
+* ``kcolor8`` / ``kcolor16`` — dense random ensembles solved with 8 and 16
+  colors, exercising multi-stage depths 3 and 4 (the paper stops at 2).
 
 Reference solutions are computed per instance: closed-form for King's boards,
 known chromatic numbers for the bundled DIMACS instances, the four-colour
@@ -26,7 +31,9 @@ CI smoke job run; larger sweeps pass their own :class:`WorkloadSpec` grids.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.exceptions import ColoringError
 from repro.graphs.generators import (
@@ -109,6 +116,36 @@ def _dimacs_reference(instance: WorkloadInstance, graph: Graph) -> ReferenceSolu
     )
 
 
+def wmaxcut_edge_weights(
+    params: Dict[str, Any], seed: Optional[int], graph: Graph
+) -> Dict[Tuple, float]:
+    """Per-edge weights of a weighted-max-cut instance, derived from its seed.
+
+    Weights are small integers drawn from a PCG64 stream seeded with the
+    instance seed, assigned in canonically sorted edge order — both choices
+    for cross-process stability: the same recipe always weighs the same edge
+    identically, independent of build order, platform, or Python hash
+    randomization.  Integer weights also keep cut sums exact, so weighted
+    accuracies never depend on floating-point summation order.
+    """
+    rng = np.random.default_rng(seed)
+    return {
+        (u, v): float(rng.integers(1, 10)) for u, v in sorted(graph.edges())
+    }
+
+
+def _wmaxcut_reference(instance: WorkloadInstance, graph: Graph) -> ReferenceSolution:
+    # The total edge weight is an upper bound on any cut (tight only on
+    # bipartite graphs); weighted accuracies therefore never exceed 1.0.
+    weights = instance.edge_weights(graph)
+    return ReferenceSolution(
+        kind="maxcut",
+        num_colors=2,
+        reference_cut=float(sum(weights.values())),
+        provider="upper-bound",
+    )
+
+
 def _maxcut_reference(instance: WorkloadInstance, graph: Graph) -> ReferenceSolution:
     # The striping cut is a *heuristic* reference (the canonical 4-coloring's
     # high bit): solvers can beat it, which is exactly why accuracies are
@@ -135,6 +172,16 @@ def _build_regular(params: Dict[str, Any], seed: Optional[int]) -> Graph:
 
 def _build_planar(params: Dict[str, Any], seed: Optional[int]) -> Graph:
     return random_planar_triangulation(int(params["n"]), seed=seed)
+
+
+def _build_wmaxcut(params: Dict[str, Any], seed: Optional[int]) -> Graph:
+    # The topology is the deterministic King's board; the instance seed only
+    # feeds the weight draw (wmaxcut_edge_weights), so it rides in the recipe
+    # hash without perturbing the graph itself.
+    rows = int(params["rows"])
+    from repro.graphs.generators import kings_graph
+
+    return kings_graph(rows, rows)
 
 
 def _generated_spec(family: str):
@@ -229,5 +276,48 @@ register_family(
         spec_factory=_kings_spec,
         reference_provider=_maxcut_reference,
         num_colors=2,
+    )
+)
+
+register_family(
+    WorkloadFamily(
+        name="wmaxcut",
+        description="weighted max-cut ensembles on King's boards (seeded integer edge weights)",
+        kind="maxcut",
+        seeded=True,
+        default_grid=({"rows": 5}, {"rows": 6}),
+        spec_factory=_generated_spec("wmaxcut"),
+        reference_provider=_wmaxcut_reference,
+        builder=_build_wmaxcut,
+        num_colors=2,
+        weights_provider=wmaxcut_edge_weights,
+    )
+)
+
+register_family(
+    WorkloadFamily(
+        name="kcolor8",
+        description="dense Erdős–Rényi ensembles solved with 8 colors (3 binary stages)",
+        kind="coloring",
+        seeded=True,
+        default_grid=({"n": 18, "p": 0.45},),
+        spec_factory=_generated_spec("kcolor8"),
+        reference_provider=_backtracking_reference,
+        builder=_build_er,
+        num_colors=8,
+    )
+)
+
+register_family(
+    WorkloadFamily(
+        name="kcolor16",
+        description="dense Erdős–Rényi ensembles solved with 16 colors (4 binary stages)",
+        kind="coloring",
+        seeded=True,
+        default_grid=({"n": 16, "p": 0.6},),
+        spec_factory=_generated_spec("kcolor16"),
+        reference_provider=_backtracking_reference,
+        builder=_build_er,
+        num_colors=16,
     )
 )

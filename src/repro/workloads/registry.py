@@ -93,6 +93,21 @@ class WorkloadInstance:
             graph = self.build()
         return get_family(self.family).reference_provider(self, graph)
 
+    def edge_weights(self, graph: Optional[Graph] = None) -> Optional[Dict]:
+        """Per-edge weights of the instance, or ``None`` for unit weights.
+
+        Only families with a ``weights_provider`` (e.g. weighted max-cut
+        ensembles) carry weights; the provider derives them deterministically
+        from the instance recipe (params + seed), so the same instance always
+        weighs its edges identically in every process.
+        """
+        family = get_family(self.family)
+        if family.weights_provider is None:
+            return None
+        if graph is None:
+            graph = self.build()
+        return family.weights_provider(dict(self.params), self.seed, graph)
+
     @property
     def params_dict(self) -> Dict[str, Any]:
         """The instance parameters as a plain dictionary."""
@@ -123,6 +138,13 @@ class WorkloadFamily:
     builder: Optional[Callable[[Dict[str, Any], Optional[int]], Graph]] = None
     num_colors: int = 4
     replicates: int = 1
+    #: Optional per-edge weight derivation ``(params, seed, graph) -> weights``
+    #: for weighted problem families.  Must be deterministic in its recipe
+    #: arguments (the weights ride implicitly in the instance's content hash,
+    #: which covers family + params + seed).
+    weights_provider: Optional[
+        Callable[[Dict[str, Any], Optional[int], Graph], Dict]
+    ] = None
 
     def __post_init__(self) -> None:
         if self.kind not in WORKLOAD_KINDS:

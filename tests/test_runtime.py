@@ -207,12 +207,14 @@ class TestResultCache:
         cache.store(job, job.run())
         path = cache.path_for(job.job_hash)
 
+        from repro.runtime.cache import CACHE_SCHEMA_VERSION
+
         payload = json.loads(path.read_text(encoding="utf-8"))
         payload["cache_schema"] = 999
         path.write_text(json.dumps(payload), encoding="utf-8")
         assert cache.load(job) is None
 
-        payload["cache_schema"] = 1
+        payload["cache_schema"] = CACHE_SCHEMA_VERSION
         payload["result"]["format_version"] = 1  # stale results schema
         path.write_text(json.dumps(payload), encoding="utf-8")
         assert cache.load(job) is None

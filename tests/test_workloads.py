@@ -33,7 +33,17 @@ from repro.workloads import (
     get_family,
 )
 
-EXPECTED_FAMILIES = {"kings", "er", "regular", "planar", "dimacs", "maxcut"}
+EXPECTED_FAMILIES = {
+    "kings",
+    "er",
+    "regular",
+    "planar",
+    "dimacs",
+    "maxcut",
+    "wmaxcut",
+    "kcolor8",
+    "kcolor16",
+}
 
 
 class TestRegistry:
@@ -59,7 +69,7 @@ class TestRegistry:
             graph = instance.build()
             assert graph.num_nodes > 0
             assert instance.kind in ("coloring", "maxcut")
-            assert instance.num_colors in (2, 4)
+            assert instance.num_colors in (2, 4, 8, 16)
             # The spec builds the same content the instance reports.
             assert instance.spec.build().num_nodes == graph.num_nodes
 
