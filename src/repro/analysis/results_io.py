@@ -38,8 +38,10 @@ SCHEMA = "msropm/solve-result"
 
 #: Format version written into every results file.  Bump on any layout change.
 #: History: 2 — stage records with clipped accuracies.  3 — stages carry the
-#: raw (unclipped) accuracy ratio alongside the [0, 1] paper metric.
-FORMAT_VERSION = 3
+#: raw (unclipped) accuracy ratio alongside the [0, 1] paper metric.  4 — the
+#: payload carries the result's execution ``metadata`` (precision tier, state
+#: dtype, numpy version).
+FORMAT_VERSION = 4
 
 
 def solve_result_to_dict(result: SolveResult) -> Dict:
@@ -76,6 +78,7 @@ def solve_result_to_dict(result: SolveResult) -> Dict:
         "format_version": FORMAT_VERSION,
         "num_colors": result.num_colors,
         "graph": json.loads(graph_to_json(result.graph)),
+        "metadata": dict(result.metadata),
         "iterations": iterations,
     }
 
@@ -123,7 +126,12 @@ def solve_result_from_dict(payload: Dict) -> SolveResult:
                 run_time=float(item.get("run_time", 0.0)),
             )
         )
-    return SolveResult(graph=graph, num_colors=num_colors, iterations=iterations)
+    metadata = payload.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise AnalysisError("solve-result metadata must be a JSON object")
+    return SolveResult(
+        graph=graph, num_colors=num_colors, iterations=iterations, metadata=metadata
+    )
 
 
 def save_solve_result(result: SolveResult, path: PathLike) -> None:

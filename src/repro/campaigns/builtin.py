@@ -70,6 +70,7 @@ def _suite_shared(params: Dict[str, Any]) -> Dict[str, Any]:
         iterations=params.get("iterations"),
         seed=int(seed) if seed is not None else 2025,
         engine=params.get("engine"),
+        precision=params.get("precision"),
         config=None,
     )
 
@@ -167,7 +168,7 @@ register_campaign(
                 description="assemble the suite report",
             ),
         ),
-        param_names=("scale", "iterations", "seed", "engine"),
+        param_names=("scale", "iterations", "seed", "engine", "precision"),
     )
 )
 
@@ -190,6 +191,7 @@ def _scenario_params(params: Dict[str, Any]) -> Dict[str, Any]:
         iterations=int(iterations) if iterations is not None else 5,
         seed=int(seed) if seed is not None else 2025,
         engine=params.get("engine"),
+        precision=params.get("precision"),
         baselines=tuple(baselines) if baselines is not None else SCENARIO_BASELINES,
     )
 
@@ -205,6 +207,7 @@ def _scenario_solves_plan(context: CampaignContext) -> List[Job]:
         iterations=options["iterations"],
         seed=options["seed"],
         engine=options["engine"],
+        precision=options["precision"],
     )
     return [job for jobs in context.runner.plan_jobs(requests) for job in jobs]
 
@@ -219,6 +222,8 @@ def _scenario_baselines_plan(context: CampaignContext) -> List[Job]:
         cached_reference(instance, cache=context.runner.cache)
         for instance in instances
     ]
+    # No ``precision`` here on purpose: the baselines are tier-agnostic, so
+    # their cached runs survive a tier switch of the MSROPM solves.
     return list(
         plan_baseline_jobs(
             instances,
@@ -262,6 +267,6 @@ register_campaign(
                 description="assemble the scenario matrix",
             ),
         ),
-        param_names=("families", "iterations", "seed", "engine", "baselines"),
+        param_names=("families", "iterations", "seed", "engine", "precision", "baselines"),
     )
 )

@@ -80,6 +80,16 @@ class MSROPMConfig:
         ``"auto"`` (default — dense only for large, dense graphs).
     seed:
         Base RNG seed for the run (per-iteration seeds are derived from it).
+    precision:
+        Numerical precision tier of the solve.  ``"exact"`` (default) keeps
+        the bit-identity contract: float64 state, per-replica RNG streams,
+        results reproducible bit-for-bit against the sequential reference.
+        ``"throughput"`` trades bit-identity for speed — float32 phase state,
+        one batched noise stream for all replicas, moment-matched uniform
+        noise increments — while keeping the reported accuracy statistically
+        equivalent (the contract the equivalence harness checks).  The tier
+        is part of the job content hash, so exact and throughput results
+        never share cache entries.
     """
 
     num_colors: int = 4
@@ -96,9 +106,12 @@ class MSROPMConfig:
     engine: str = "batched"
     coupling_backend: str = "auto"
     seed: Optional[int] = None
+    precision: str = "exact"
 
     #: Engines accepted by :attr:`engine`.
     ENGINE_NAMES = ("sequential", "batched")
+    #: Precision tiers accepted by :attr:`precision`.
+    PRECISION_NAMES = ("exact", "throughput")
     #: Coupling backends accepted by :attr:`coupling_backend`.
     COUPLING_BACKENDS = ("auto", "sparse", "dense")
 
@@ -143,6 +156,10 @@ class MSROPMConfig:
         if self.coupling_backend not in self.COUPLING_BACKENDS:
             raise ConfigurationError(
                 f"coupling_backend must be one of {self.COUPLING_BACKENDS}, got {self.coupling_backend!r}"
+            )
+        if self.precision not in self.PRECISION_NAMES:
+            raise ConfigurationError(
+                f"precision must be one of {self.PRECISION_NAMES}, got {self.precision!r}"
             )
 
     # ------------------------------------------------------------------

@@ -33,9 +33,10 @@ from repro.exceptions import ConfigurationError
 from repro.core.config import MSROPMConfig
 from repro.core.metrics import coloring_accuracy
 from repro.core.results import IterationResult, StageResult
+from repro.dynamics.batched import ThroughputOptions
 from repro.dynamics.noise import perturbed_phases, random_initial_phases
 from repro.graphs.graph import Graph
-from repro.rng import ReplicaRNG, make_rng
+from repro.rng import ReplicaRNG, ThroughputRNG, make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.machine import MSROPM
@@ -113,6 +114,11 @@ class SequentialEngine(SolverEngine):
     name = "sequential"
 
     def run(self, machine: "MSROPM", seeds: Sequence[Optional[int]]) -> List[IterationResult]:
+        if machine.config.precision != "exact":
+            raise ConfigurationError(
+                "the sequential engine only implements the exact precision tier; "
+                "use engine='batched' for precision='throughput'"
+            )
         return [
             machine.run_iteration(iteration_index=index, seed=seed)
             for index, seed in enumerate(seeds)
@@ -135,30 +141,83 @@ class BatchedEngine(SolverEngine):
         — per-stage operator construction, recorded trajectories, per-replica
         Python scoring — which is the reference the fast path is proven
         bit-identical against and the baseline the hot-path benchmark times.
+    precision:
+        ``"exact"``, ``"throughput"``, or ``None`` (default) to defer to the
+        machine's ``MSROPMConfig.precision``.  The throughput tier trades the
+        bit-identity contract for speed: float32 state and CSR operators, one
+        batched noise stream for all replicas (statistically equivalent
+        accuracy, enforced by the equivalence harness).  It requires the fast
+        path and the sparse coupling backend (``auto`` resolutions to dense
+        are forced back to sparse; an explicit ``"dense"`` pin is an error).
+    throughput_options:
+        Relaxation switches of the throughput tier
+        (:class:`repro.dynamics.batched.ThroughputOptions`); ``None`` means
+        the tier defaults.  Ignored on the exact tier.
     """
 
     name = "batched"
 
     def __init__(
-        self, coupling_backend: Optional[str] = None, fast_path: bool = True
+        self,
+        coupling_backend: Optional[str] = None,
+        fast_path: bool = True,
+        precision: Optional[str] = None,
+        throughput_options: Optional[ThroughputOptions] = None,
     ) -> None:
         if coupling_backend is not None and coupling_backend not in MSROPMConfig.COUPLING_BACKENDS:
             raise ConfigurationError(
                 f"coupling_backend must be one of {MSROPMConfig.COUPLING_BACKENDS}, "
                 f"got {coupling_backend!r}"
             )
+        if precision is not None and precision not in MSROPMConfig.PRECISION_NAMES:
+            raise ConfigurationError(
+                f"precision must be one of {MSROPMConfig.PRECISION_NAMES}, got {precision!r}"
+            )
         self.coupling_backend = coupling_backend
         self.fast_path = fast_path
+        self.precision = precision
+        self.throughput_options = throughput_options
 
     def run(self, machine: "MSROPM", seeds: Sequence[Optional[int]]) -> List[IterationResult]:
         config = machine.config
         num_replicas = len(seeds)
         num = machine.num_oscillators
+        precision = self.precision if self.precision is not None else config.precision
         backend = resolve_coupling_backend(
             self.coupling_backend or config.coupling_backend, machine.graph
         )
-        rng = ReplicaRNG([make_rng(seed) for seed in seeds])
-        executor = machine.batched_executor(backend, fast_path=self.fast_path)
+        if precision == "throughput":
+            if not self.fast_path:
+                raise ConfigurationError(
+                    "precision='throughput' requires the batched fast path"
+                )
+            if (self.coupling_backend or config.coupling_backend) == "dense":
+                raise ConfigurationError(
+                    "precision='throughput' runs on the sparse coupling backend; "
+                    "remove the explicit coupling_backend='dense' pin"
+                )
+            # The float32 CSR kernels are sparse-only; an auto resolution to
+            # dense falls back to sparse rather than silently switching tiers.
+            backend = "sparse"
+            options = (
+                self.throughput_options
+                if self.throughput_options is not None
+                else ThroughputOptions()
+            )
+            rng = (
+                ThroughputRNG(seeds)
+                if options.batched_rng
+                else ReplicaRNG([make_rng(seed) for seed in seeds])
+            )
+            executor = machine.batched_executor(
+                backend,
+                fast_path=True,
+                precision="throughput",
+                throughput_options=options,
+            )
+        else:
+            rng = ReplicaRNG([make_rng(seed) for seed in seeds])
+            executor = machine.batched_executor(backend, fast_path=self.fast_path)
 
         phases = random_initial_phases(num, rng)  # (R, N)
         group_values = np.zeros((num_replicas, num), dtype=int)

@@ -128,18 +128,26 @@ class MSROPM:
         """The cut value used to normalize stage-1 accuracy."""
         return self._stage1_reference_cut
 
-    def batched_executor(self, coupling_backend: str, fast_path: bool = True) -> StageExecutor:
+    def batched_executor(
+        self,
+        coupling_backend: str,
+        fast_path: bool = True,
+        precision: str = "exact",
+        throughput_options=None,
+    ) -> StageExecutor:
         """The machine's cached batched :class:`StageExecutor`.
 
-        Built once per ``(backend, fast_path)`` pair and reused across solves,
-        so the executor's precompiled :class:`~repro.core.stages.CouplingPlan`
-        (stage-1 CSR, kernel buffers, dense base matrix) survives from one
-        solve to the next — and, through the runtime's per-worker machine
-        memo, from one job to the next.  The executor is stateless with
-        respect to a solve's data, so sharing it cannot couple solves.
+        Built once per ``(backend, fast_path, precision, options)`` key and
+        reused across solves, so the executor's precompiled
+        :class:`~repro.core.stages.CouplingPlan` (stage-1 CSR, kernel buffers,
+        dense base matrix) survives from one solve to the next — and, through
+        the runtime's per-worker machine memo, from one job to the next.  The
+        executor is stateless with respect to a solve's data, so sharing it
+        cannot couple solves.  Exact and throughput tiers get distinct
+        executors (their plans hold different-dtype operators).
         """
         cache = self.__dict__.setdefault("_executor_cache", {})
-        key = (coupling_backend, fast_path)
+        key = (coupling_backend, fast_path, precision, throughput_options)
         if key not in cache:
             cache[key] = StageExecutor(
                 config=self.config,
@@ -148,6 +156,8 @@ class MSROPM:
                 frequency_detuning=self._frequency_detuning,
                 coupling_backend=coupling_backend,
                 fast_path=fast_path,
+                precision=precision,
+                throughput_options=throughput_options,
             )
         return cache[key]
 
@@ -234,7 +244,12 @@ class MSROPM:
         seeds = iteration_seeds(base_seed, iterations)
         solver_engine = get_engine(engine if engine is not None else self.config.engine)
         results = solver_engine.run(self, seeds)
-        return SolveResult(graph=self.graph, num_colors=self.config.num_colors, iterations=results)
+        return SolveResult(
+            graph=self.graph,
+            num_colors=self.config.num_colors,
+            iterations=results,
+            metadata=self.result_metadata(solver_engine),
+        )
 
     def solve_range(
         self,
@@ -266,6 +281,23 @@ class MSROPM:
         seeds = iteration_seeds(base_seed, total_iterations)[start:stop]
         solver_engine = get_engine(engine if engine is not None else self.config.engine)
         return solver_engine.run_range(self, seeds, start_index=start)
+
+    # ------------------------------------------------------------------
+    def result_metadata(self, engine: Optional[object] = None) -> Dict[str, object]:
+        """Provenance recorded on every :class:`SolveResult` this machine makes.
+
+        Captures the active precision tier, the integrated state dtype, and
+        the numpy version, so archived results are auditable: a cached
+        throughput result can never masquerade as an exact one.  ``engine``
+        (an engine instance) may carry a per-call tier override.
+        """
+        precision = getattr(engine, "precision", None) or self.config.precision
+        dtype = "float64"
+        if precision == "throughput":
+            options = getattr(engine, "throughput_options", None)
+            float32 = options.float32_state if options is not None else True
+            dtype = "float32" if float32 else "float64"
+        return {"precision": precision, "dtype": dtype, "numpy": np.__version__}
 
     # ------------------------------------------------------------------
     def _score_stage(

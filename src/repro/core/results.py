@@ -125,11 +125,18 @@ class IterationResult:
 
 @dataclass
 class SolveResult:
-    """Aggregate of all iterations of an MSROPM experiment on one problem."""
+    """Aggregate of all iterations of an MSROPM experiment on one problem.
+
+    ``metadata`` records execution provenance — the precision tier
+    (``"exact"``/``"throughput"``), the integrated state dtype, and the numpy
+    version — so archived results stay auditable; empty on results built by
+    code paths that predate the field.
+    """
 
     graph: Graph
     num_colors: int
     iterations: List[IterationResult]
+    metadata: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.iterations:

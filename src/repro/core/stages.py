@@ -34,6 +34,8 @@ from repro.dynamics.batched import (
     FastSharedCoupling,
     GroupMaskedDenseCoupling,
     SharedCoupling,
+    ThroughputOptions,
+    ThroughputOscillatorModel,
 )
 from repro.dynamics.integrators import (
     Trajectory,
@@ -132,6 +134,7 @@ class CouplingPlan:
         num_oscillators: int,
         coupling_rate: float,
         backend: str,
+        dtype=float,
     ) -> None:
         if backend not in ("sparse", "dense"):
             raise StageError(
@@ -141,6 +144,7 @@ class CouplingPlan:
         self.num_oscillators = num_oscillators
         self.coupling_rate = coupling_rate
         self.backend = backend
+        self.dtype = np.dtype(dtype)
         self._uniform_shared: Optional[FastSharedCoupling] = None
         self._dense_base: Optional[np.ndarray] = None
 
@@ -174,16 +178,19 @@ class CouplingPlan:
                             first_row,
                             self.num_oscillators,
                             self.coupling_rate,
-                        )
+                        ),
+                        dtype=self.dtype,
                     )
                 return self._uniform_shared
             return FastSharedCoupling(
                 partition_coupling_matrix(
                     self.edge_index, first_row, self.num_oscillators, self.coupling_rate
-                )
+                ),
+                dtype=self.dtype,
             )
         return FastBlockDiagonalCoupling.from_group_values(
-            self.edge_index, group_values, self.num_oscillators, self.coupling_rate
+            self.edge_index, group_values, self.num_oscillators, self.coupling_rate,
+            dtype=self.dtype,
         )
 
 
@@ -225,6 +232,14 @@ class StageExecutor:
         body (per-stage operator construction, recorded trajectories) — the
         baseline the fast path is tested bit-identical against and the
         pre-overhaul behaviour the hot-path benchmark times.
+    precision:
+        Precision tier of the stage arithmetic: ``"exact"`` (default,
+        bit-identical contract) or ``"throughput"`` (float32 state + relaxed
+        RNG per :class:`repro.dynamics.batched.ThroughputOptions`, statistical
+        contract).  The throughput tier requires the batched fast path.
+    throughput_options:
+        Relaxation switches of the throughput tier; ``None`` means the tier's
+        defaults.  Ignored on the exact tier.
     """
 
     config: MSROPMConfig
@@ -234,6 +249,20 @@ class StageExecutor:
     frequency_detuning: Optional[np.ndarray] = None
     coupling_backend: str = "sparse"
     fast_path: bool = True
+    precision: str = "exact"
+    throughput_options: Optional[ThroughputOptions] = None
+
+    @property
+    def throughput(self) -> ThroughputOptions:
+        """The effective throughput relaxations (defaults when unset)."""
+        return self.throughput_options if self.throughput_options is not None else ThroughputOptions()
+
+    @property
+    def state_dtype(self) -> np.dtype:
+        """dtype of the integrated phase state under this executor's tier."""
+        if self.precision == "throughput" and self.throughput.float32_state:
+            return np.dtype(np.float32)
+        return np.dtype(float)
 
     @property
     def plan(self) -> CouplingPlan:
@@ -245,6 +274,7 @@ class StageExecutor:
                 self.num_oscillators,
                 self.config.coupling_rate,
                 self.coupling_backend,
+                dtype=self.state_dtype,
             )
             self._plan = plan
         return plan
@@ -266,6 +296,21 @@ class StageExecutor:
         where ``stage_bits`` is the per-oscillator binary read-out of this
         stage, shaped like ``phases``.
         """
+        if self.precision == "throughput":
+            if (
+                np.ndim(phases) != 2
+                or not self.fast_path
+                or self.collect_trajectory
+                or self.coupling_backend != "sparse"
+            ):
+                raise StageError(
+                    "precision='throughput' requires the batched fast path on the "
+                    "sparse backend without trajectory collection"
+                )
+            phases = np.asarray(phases, dtype=self.state_dtype)
+            return self._run_batched_stage_throughput(
+                stage_index, phases, group_values, rng, start_time
+            )
         phases = np.asarray(phases, dtype=float)
         if phases.ndim == 2:
             if self.fast_path and not self.collect_trajectory:
@@ -467,6 +512,95 @@ class StageExecutor:
             noise_amplitude=diffusion,
             seed=rng,
             start_time=time,
+        )
+
+        bits = binarize_against_offsets(phases, offsets)
+        return phases, bits, None
+
+    def _run_batched_stage_throughput(
+        self,
+        stage_index: int,
+        phases: np.ndarray,
+        group_values: np.ndarray,
+        rng,
+        start_time: float,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[Trajectory]]:
+        """Throughput-tier mirror of :meth:`_run_batched_stage_fast`.
+
+        Same three intervals and the same term structure, with the tier's
+        declared relaxations: the state (and the plan's CSR operators) may be
+        float32, the RHS is a :class:`ThroughputOscillatorModel`, and the
+        noise stream is whatever the caller's RNG provides (a
+        :class:`repro.rng.ThroughputRNG` under the default relaxations —
+        one batched stream of moment-matched uniform increments).  Results
+        are statistically equivalent to the exact tier, not bit-identical;
+        the equivalence harness owns that contract.
+        """
+        config = self.config
+        timing = config.timing
+        rng = make_rng(rng)
+        diffusion = config.phase_noise_diffusion
+        options = self.throughput
+        dtype = self.state_dtype
+        time = start_time
+
+        group_values = np.asarray(group_values, dtype=int)
+        if group_values.shape != phases.shape:
+            raise StageError(
+                f"batched group_values shape {group_values.shape} must match "
+                f"phases shape {phases.shape}"
+            )
+        coupling = self.plan.operator(group_values)
+        offsets = group_offsets(group_values, stage_index)
+
+        # Initialization: couplings and SHIL are off, so the interval is a
+        # pure phase diffusion; apply the equivalent Gaussian walk directly.
+        std = np.sqrt(2.0 * diffusion * timing.initialization)
+        if std > 0:
+            phases = phases + rng.normal(0.0, std, size=phases.shape)
+        time += timing.initialization
+
+        anneal_model = ThroughputOscillatorModel(
+            coupling=coupling,
+            num_oscillators=self.num_oscillators,
+            shil_strength=0.0,
+            frequency_detuning=self.frequency_detuning,
+            coupling_ramp=config.annealing_policy.coupling_ramp(time, timing.annealing),
+            fused_shil=options.fused_shil,
+            dtype=dtype,
+        )
+        phases = euler_maruyama_final(
+            anneal_model,
+            phases,
+            timing.annealing,
+            config.time_step,
+            noise_amplitude=diffusion,
+            seed=rng,
+            start_time=time,
+            dtype=dtype,
+        )
+        time += timing.annealing
+
+        lock_model = ThroughputOscillatorModel(
+            coupling=coupling,
+            num_oscillators=self.num_oscillators,
+            shil_strength=config.shil_rate,
+            shil_offset=offsets,
+            shil_order=2,
+            frequency_detuning=self.frequency_detuning,
+            shil_ramp=config.annealing_policy.shil_ramp(time, timing.shil_settling),
+            fused_shil=options.fused_shil,
+            dtype=dtype,
+        )
+        phases = euler_maruyama_final(
+            lock_model,
+            phases,
+            timing.shil_settling,
+            config.time_step,
+            noise_amplitude=diffusion,
+            seed=rng,
+            start_time=time,
+            dtype=dtype,
         )
 
         bits = binarize_against_offsets(phases, offsets)

@@ -303,15 +303,18 @@ def rk4_final(
     duration: float,
     dt: float,
     start_time: float = 0.0,
+    dtype=float,
 ) -> np.ndarray:
     """Final-state RK4: like :func:`integrate_rk4` but records nothing.
 
     Returns the phase array after the last step; no intermediate state is
-    ever materialized.  Bit-identical to ``integrate_rk4(...).final_phases``.
+    ever materialized.  Bit-identical to ``integrate_rk4(...).final_phases``
+    at the default ``dtype`` (float64); the throughput precision tier passes
+    ``dtype=np.float32``, which threads through every ``out=``-based update.
     """
     num_steps = _validate_step(duration, dt)
     step = duration / num_steps
-    theta = np.array(initial_phases, dtype=float)
+    theta = np.array(initial_phases, dtype=dtype)
     return _rk4_loop(rhs, theta, num_steps, step, start_time, None)
 
 
@@ -359,6 +362,7 @@ def euler_maruyama_final(
     noise_amplitude: float = 0.0,
     seed: SeedLike = None,
     start_time: float = 0.0,
+    dtype=float,
 ) -> np.ndarray:
     """Final-state Euler-Maruyama: like :func:`integrate_euler_maruyama`
     without trajectory recording.
@@ -366,14 +370,17 @@ def euler_maruyama_final(
     This is the solve hot path: the default (non-waveform) stage execution
     only ever reads the phases after the last step, so nothing else is kept.
     Consumes exactly the random stream of the recording variant and returns a
-    bit-identical final phase array.
+    bit-identical final phase array at the default ``dtype`` (float64).  The
+    throughput precision tier passes ``dtype=np.float32`` (with a
+    :class:`repro.rng.ThroughputRNG` as ``seed``), which keeps the state,
+    drift and noise buffers single precision through every in-place update.
     """
     if noise_amplitude < 0:
         raise SimulationError(f"noise_amplitude must be non-negative, got {noise_amplitude}")
     num_steps = _validate_step(duration, dt)
     step = duration / num_steps
     rng = make_rng(seed)
-    theta = np.array(initial_phases, dtype=float)
+    theta = np.array(initial_phases, dtype=dtype)
     noise_scale = np.sqrt(2.0 * noise_amplitude * step)
     return _euler_maruyama_loop(rhs, theta, num_steps, step, noise_scale, rng, start_time, None)
 

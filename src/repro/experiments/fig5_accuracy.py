@@ -78,6 +78,7 @@ def plan_figure5_requests(
     config: Optional[MSROPMConfig] = None,
     seed: int = 2025,
     engine: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> List[SolveRequest]:
     """The solve requests Figure 5 schedules: one per plotted problem size.
 
@@ -88,6 +89,8 @@ def plan_figure5_requests(
     config = config or default_config(seed)
     if engine is not None:
         config = config.with_updates(engine=engine)
+    if precision is not None:
+        config = config.with_updates(precision=precision)
     iterations = iterations if iterations is not None else scaled_iterations(scale)
     return [
         SolveRequest(
@@ -107,17 +110,25 @@ def run_figure5(
     config: Optional[MSROPMConfig] = None,
     seed: int = 2025,
     engine: Optional[str] = None,
+    precision: Optional[str] = None,
     runner: Optional[ExperimentRunner] = None,
 ) -> Figure5Result:
     """Run the Figure 5 experiment (optionally scaled down) and collect the data.
 
     ``engine`` selects the replica engine for the per-problem solves
-    (``None`` keeps the config's engine, batched by default); ``runner``
-    supplies the execution runtime (``None`` = serial, uncached).
+    (``None`` keeps the config's engine, batched by default); ``precision``
+    the tier; ``runner`` supplies the execution runtime (``None`` = serial,
+    uncached).
     """
     runner = runner or ExperimentRunner()
     requests = plan_figure5_requests(
-        sizes=sizes, iterations=iterations, scale=scale, config=config, seed=seed, engine=engine
+        sizes=sizes,
+        iterations=iterations,
+        scale=scale,
+        config=config,
+        seed=seed,
+        engine=engine,
+        precision=precision,
     )
     solves = runner.solve_many(requests)
     result = Figure5Result()

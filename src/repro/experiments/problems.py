@@ -153,15 +153,25 @@ def file_workload(path: Union[str, Path]) -> BenchmarkProblem:
     )
 
 
-def default_config(seed: Optional[int] = 2025, engine: Optional[str] = None) -> MSROPMConfig:
+def default_config(
+    seed: Optional[int] = 2025,
+    engine: Optional[str] = None,
+    precision: Optional[str] = None,
+) -> MSROPMConfig:
     """The configuration used by all paper-reproduction experiments.
 
     ``engine`` selects the replica execution engine (``"sequential"`` or
-    ``"batched"``); ``None`` keeps the library default (batched).
+    ``"batched"``); ``precision`` selects the precision tier (``"exact"`` or
+    ``"throughput"``).  ``None`` keeps the library defaults (batched, exact).
     """
     config = MSROPMConfig(num_colors=4, seed=seed)
+    updates = {}
     if engine is not None:
-        config = config.with_updates(engine=engine)
+        updates["engine"] = engine
+    if precision is not None:
+        updates["precision"] = precision
+    if updates:
+        config = config.with_updates(**updates)
     return config
 
 

@@ -199,6 +199,7 @@ def plan_scenario_requests(
     seed: int = 2025,
     config: Optional[MSROPMConfig] = None,
     engine: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> List[SolveRequest]:
     """The runtime solve requests of the matrix: one MSROPM solve per instance.
 
@@ -211,6 +212,8 @@ def plan_scenario_requests(
     base = config or default_config(seed)
     if engine is not None:
         base = base.with_updates(engine=engine)
+    if precision is not None:
+        base = base.with_updates(precision=precision)
     return [
         SolveRequest(
             spec=instance.spec,
@@ -290,16 +293,19 @@ def run_scenario_matrix(
     seed: int = 2025,
     config: Optional[MSROPMConfig] = None,
     engine: Optional[str] = None,
+    precision: Optional[str] = None,
     runner: Optional[ExperimentRunner] = None,
     baselines: Sequence[str] = SCENARIO_BASELINES,
 ) -> ScenarioMatrixResult:
     """Run the MSROPM and the baselines across the zoo's workload instances.
 
-    ``families`` selects registry families (``None`` = all); ``runner``
-    supplies the execution runtime for MSROPM solves *and* baseline jobs
-    (``None`` = serial, uncached).  Per seed the matrix is bit-identical
-    regardless of the runner's worker count, and a cache-backed runner
-    resolves warm reruns without a single solve or baseline run.
+    ``families`` selects registry families (``None`` = all); ``precision``
+    selects the MSROPM precision tier (the baselines are tier-agnostic and
+    deliberately ignore it, so their cached runs survive tier switches);
+    ``runner`` supplies the execution runtime for MSROPM solves *and*
+    baseline jobs (``None`` = serial, uncached).  Per seed the matrix is
+    bit-identical regardless of the runner's worker count, and a cache-backed
+    runner resolves warm reruns without a single solve or baseline run.
     """
     for name in baselines:
         if name not in SCENARIO_BASELINES:
@@ -310,7 +316,12 @@ def run_scenario_matrix(
     start = time.perf_counter()
     instances = expand_workloads(families, base_seed=seed)
     requests = plan_scenario_requests(
-        instances, iterations=iterations, seed=seed, config=config, engine=engine
+        instances,
+        iterations=iterations,
+        seed=seed,
+        config=config,
+        engine=engine,
+        precision=precision,
     )
     solves: List[SolveResult] = runner.solve_many(requests)
 

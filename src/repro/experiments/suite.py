@@ -60,6 +60,12 @@ class SuiteResult:
             f"{stats['jobs_run']} job(s) solved, "
             f"{stats['cache_hits']} cache hit(s), {stats['cache_stores']} store(s)"
         )
+        stale = stats.get("cache_stale_misses", 0)
+        if stale:
+            summary += (
+                f"\nnote: {stale} cache entr{'y' if stale == 1 else 'ies'} were stale "
+                "(schema or tier change) and recomputed"
+            )
         return "\n\n".join(
             [
                 self.table1.render(),
@@ -76,6 +82,7 @@ def plan_suite_requests(
     seed: int = 2025,
     config: Optional[MSROPMConfig] = None,
     engine: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> List[SolveRequest]:
     """The union of all solve requests the suite's experiments schedule.
 
@@ -83,7 +90,14 @@ def plan_suite_requests(
     the hashes the standalone experiments compute — the warm pass and the
     per-experiment runs address the same cache entries.
     """
-    shared = dict(iterations=iterations, scale=scale, config=config, seed=seed, engine=engine)
+    shared = dict(
+        iterations=iterations,
+        scale=scale,
+        config=config,
+        seed=seed,
+        engine=engine,
+        precision=precision,
+    )
     requests: List[SolveRequest] = []
     requests.extend(plan_table1_requests(**shared))
     requests.extend(plan_table2_requests(**shared))
@@ -97,17 +111,26 @@ def run_suite(
     seed: int = 2025,
     config: Optional[MSROPMConfig] = None,
     engine: Optional[str] = None,
+    precision: Optional[str] = None,
     runner: Optional[ExperimentRunner] = None,
 ) -> SuiteResult:
     """Run the whole evaluation (Tables 1-2, Figure 5) through one runner.
 
     ``runner`` supplies the worker pool and cache (``None`` = serial,
     uncached).  Per seed, the results are bit-identical regardless of the
-    runner's worker count.
+    runner's worker count (the throughput tier is equally deterministic per
+    seed, though not bit-identical to the exact tier).
     """
     runner = runner or ExperimentRunner()
     start = time.perf_counter()
-    shared = dict(iterations=iterations, scale=scale, config=config, seed=seed, engine=engine)
+    shared = dict(
+        iterations=iterations,
+        scale=scale,
+        config=config,
+        seed=seed,
+        engine=engine,
+        precision=precision,
+    )
 
     # One sharded pass over the union of all jobs (deduplicated by hash).
     runner.solve_many(plan_suite_requests(**shared))

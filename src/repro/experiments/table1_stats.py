@@ -101,6 +101,7 @@ def plan_table1_requests(
     config: Optional[MSROPMConfig] = None,
     seed: int = 2025,
     engine: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> List[SolveRequest]:
     """The solve requests Table 1 schedules: one per problem size.
 
@@ -110,6 +111,8 @@ def plan_table1_requests(
     config = config or default_config(seed)
     if engine is not None:
         config = config.with_updates(engine=engine)
+    if precision is not None:
+        config = config.with_updates(precision=precision)
     iterations = iterations if iterations is not None else scaled_iterations(scale)
     return [
         SolveRequest(
@@ -130,20 +133,28 @@ def run_table1(
     power_model: Optional[PowerModel] = None,
     seed: int = 2025,
     engine: Optional[str] = None,
+    precision: Optional[str] = None,
     runner: Optional[ExperimentRunner] = None,
 ) -> Table1Result:
     """Run the Table 1 experiment (optionally scaled) and collect the rows.
 
     ``engine`` selects the replica engine for the 40-iteration solves
-    (``None`` keeps the config's engine, batched by default).  ``runner``
-    supplies the execution runtime (worker pool + result cache); ``None``
-    uses a serial, uncached runner, which reproduces the historical behaviour
-    exactly.
+    (``None`` keeps the config's engine, batched by default); ``precision``
+    selects the tier (``None`` keeps the config's, exact by default).
+    ``runner`` supplies the execution runtime (worker pool + result cache);
+    ``None`` uses a serial, uncached runner, which reproduces the historical
+    behaviour exactly.
     """
     runner = runner or ExperimentRunner()
     power_model = power_model or PowerModel()
     requests = plan_table1_requests(
-        sizes=sizes, iterations=iterations, scale=scale, config=config, seed=seed, engine=engine
+        sizes=sizes,
+        iterations=iterations,
+        scale=scale,
+        config=config,
+        seed=seed,
+        engine=engine,
+        precision=precision,
     )
     solves = runner.solve_many(requests)
     result = Table1Result()

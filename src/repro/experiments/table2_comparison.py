@@ -58,11 +58,14 @@ def plan_table2_requests(
     config: Optional[MSROPMConfig] = None,
     seed: int = 2025,
     engine: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> List[SolveRequest]:
     """The runtime solve requests of Table 2: the headline MSROPM row."""
     config = config or default_config(seed)
     if engine is not None:
         config = config.with_updates(engine=engine)
+    if precision is not None:
+        config = config.with_updates(precision=precision)
     iterations = iterations if iterations is not None else scaled_iterations(scale)
     return [
         SolveRequest(
@@ -83,6 +86,7 @@ def run_table2(
     power_model: Optional[PowerModel] = None,
     seed: int = 2025,
     engine: Optional[str] = None,
+    precision: Optional[str] = None,
     runner: Optional[ExperimentRunner] = None,
 ) -> Table2Result:
     """Measure the re-implemented rows of Table 2 and assemble the comparison.
@@ -99,6 +103,10 @@ def run_table2(
         # The MSROPM row honours the engine selection; the single-stage
         # baselines keep their own iteration loops.
         config = config.with_updates(engine=engine)
+    if precision is not None:
+        # Same asymmetry for the tier: only the MSROPM headline row runs at
+        # the selected precision.
+        config = config.with_updates(precision=precision)
     power_model = power_model or PowerModel()
     iterations = iterations if iterations is not None else scaled_iterations(scale)
 

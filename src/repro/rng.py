@@ -12,7 +12,14 @@ from typing import Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence, "ReplicaRNG"]
+SeedLike = Union[
+    None,
+    int,
+    np.random.Generator,
+    np.random.SeedSequence,
+    "ReplicaRNG",
+    "ThroughputRNG",
+]
 
 
 class ReplicaRNG:
@@ -98,28 +105,138 @@ class ReplicaRNG:
         return block.swapaxes(0, 1)
 
 
+class ThroughputRNG:
+    """A single batched noise stream for the throughput precision tier.
+
+    Where :class:`ReplicaRNG` maintains one generator per replica (the price
+    of bit-identity with sequential runs), ``ThroughputRNG`` drives *one*
+    PCG64 stream for the whole replica batch and draws in float32.  Replica
+    independence is statistical rather than structural: the generator is
+    seeded with a :class:`numpy.random.SeedSequence` over the job's
+    per-replica seeds, so the stream is deterministic per seed set — and a
+    different seed set yields an uncorrelated stream — but replicas no longer
+    own stream positions, so results are not invariant under replica
+    re-chunking.
+
+    Noise blocks contain *moment-matched uniform* increments
+    ``(2u - 1) * sqrt(3)`` (mean 0, variance 1) instead of Gaussians: for the
+    weak Euler–Maruyama convergence the solver relies on, only the first two
+    moments of the per-step increment matter, and uniform float32 draws are
+    several times cheaper than per-replica float64 Gaussians.
+
+    The class quacks like :class:`ReplicaRNG` for the draw methods the solver
+    uses (``standard_normal``, ``normal``, ``uniform``, ``noise_block``), with
+    the same ``(R, ...)`` shape semantics, so the noise helpers and
+    integrators stay tier-agnostic.
+    """
+
+    def __init__(self, seeds: Sequence[Optional[int]], num_replicas: Optional[int] = None) -> None:
+        seeds = list(seeds)
+        if not seeds:
+            raise ValueError("ThroughputRNG needs at least one seed")
+        self.seeds = seeds
+        self._num_replicas = int(num_replicas) if num_replicas is not None else len(seeds)
+        if self._num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {self._num_replicas}")
+        if any(seed is None for seed in seeds):
+            # Non-deterministic fallback: no seeds means no reproducibility
+            # contract to honour, so use OS entropy.
+            self.generator = np.random.default_rng()
+        else:
+            self.generator = np.random.default_rng(
+                np.random.SeedSequence([int(seed) for seed in seeds])
+            )
+
+    @property
+    def num_replicas(self) -> int:
+        """Replica count the batched draws span."""
+        return self._num_replicas
+
+    def _replica_shape(self, size) -> Tuple[int, ...]:
+        """Normalize a requested ``size`` into the per-replica draw shape."""
+        if size is None:
+            return ()
+        if np.ndim(size) == 0:
+            return (int(size),)
+        size = tuple(int(value) for value in size)
+        if not size or size[0] != self.num_replicas:
+            raise ValueError(
+                f"batched draws must have a leading replica axis of {self.num_replicas}, got size {size}"
+            )
+        return size[1:]
+
+    def standard_normal(self, size=None) -> np.ndarray:
+        """One float32 ``standard_normal`` draw of shape ``(R, ...)``."""
+        shape = (self.num_replicas,) + self._replica_shape(size)
+        return self.generator.standard_normal(shape, dtype=np.float32)
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None) -> np.ndarray:
+        """One float32 ``normal`` draw of shape ``(R, ...)``."""
+        draw = self.standard_normal(size)
+        if scale != 1.0:
+            np.multiply(draw, np.float32(scale), out=draw)
+        if loc != 0.0:
+            np.add(draw, np.float32(loc), out=draw)
+        return draw
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None) -> np.ndarray:
+        """One float32 ``uniform`` draw of shape ``(R, ...)``.
+
+        ``Generator.uniform`` has no dtype parameter, so the draw is a float32
+        ``random`` rescaled in place.
+        """
+        shape = (self.num_replicas,) + self._replica_shape(size)
+        draw = self.generator.random(shape, dtype=np.float32)
+        if high != 1.0 or low != 0.0:
+            np.multiply(draw, np.float32(high - low), out=draw)
+            if low != 0.0:
+                np.add(draw, np.float32(low), out=draw)
+        return draw
+
+    def noise_block(self, num_steps: int, shape: Tuple[int, ...]) -> np.ndarray:
+        """Unit-variance float32 noise for ``num_steps`` integrator steps.
+
+        Shape ``(num_steps, R, N)`` like :meth:`ReplicaRNG.noise_block`, but
+        filled in one batched float32 ``random`` call and transformed to
+        moment-matched uniform increments ``(2u - 1) * sqrt(3)``.
+        """
+        if num_steps < 1:
+            raise ValueError(f"num_steps must be >= 1, got {num_steps}")
+        per_replica = self._replica_shape(shape)
+        block = self.generator.random(
+            (num_steps, self.num_replicas) + per_replica, dtype=np.float32
+        )
+        # (2u - 1) * sqrt(3): mean 0, variance 1 — a weak-order-equivalent
+        # substitute for the standard normal per-step increment.
+        np.multiply(block, np.float32(2.0 * np.sqrt(3.0)), out=block)
+        np.subtract(block, np.float32(np.sqrt(3.0)), out=block)
+        return block
+
+
 def normal_noise_block(rng: SeedLike, num_steps: int, shape: Tuple[int, ...]) -> np.ndarray:
-    """Draw ``(num_steps,) + shape`` standard-normal noise from ``rng``.
+    """Draw ``(num_steps,) + shape`` unit-variance noise from ``rng``.
 
     For a plain generator this is one chunked draw (bit-identical to
     ``num_steps`` successive ``shape`` draws); for a :class:`ReplicaRNG` the
-    block is assembled from the per-replica streams.
+    block is assembled from the per-replica streams.  A :class:`ThroughputRNG`
+    returns float32 moment-matched uniform increments instead of Gaussians.
     """
-    if isinstance(rng, ReplicaRNG):
+    if isinstance(rng, (ReplicaRNG, ThroughputRNG)):
         return rng.noise_block(num_steps, shape)
     return make_rng(rng).standard_normal((num_steps,) + tuple(shape))
 
 
-def make_rng(seed: SeedLike = None) -> Union[np.random.Generator, "ReplicaRNG"]:
+def make_rng(seed: SeedLike = None) -> Union[np.random.Generator, "ReplicaRNG", "ThroughputRNG"]:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     ``seed`` may be ``None`` (non-deterministic), an integer, a
     :class:`numpy.random.SeedSequence`, or an existing generator (returned
     unchanged so callers can thread one generator through a pipeline).  A
-    :class:`ReplicaRNG` is likewise returned unchanged so batched pipelines
-    can thread their replica streams through the same code paths.
+    :class:`ReplicaRNG` or :class:`ThroughputRNG` is likewise returned
+    unchanged so batched pipelines can thread their replica streams through
+    the same code paths.
     """
-    if isinstance(seed, (np.random.Generator, ReplicaRNG)):
+    if isinstance(seed, (np.random.Generator, ReplicaRNG, ThroughputRNG)):
         return seed
     if isinstance(seed, np.random.SeedSequence):
         return np.random.default_rng(seed)

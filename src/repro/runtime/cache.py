@@ -73,6 +73,12 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: Misses where an entry *existed* on disk but was rejected — corrupt
+        #: JSON, an envelope or results schema mismatch, failed validation.
+        #: These are the entries a format bump (or a tier change folded into
+        #: the job hash) silently invalidates; runners surface the count so
+        #: users understand why a warm cache recomputed.
+        self.stale_misses = 0
         self.stores = 0
         self.payload_hits = 0
         self.payload_misses = 0
@@ -95,7 +101,13 @@ class ResultCache:
             return None
         path = self.path_for(job.job_hash)
         try:
-            envelope = json.loads(path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            # No entry on disk: the ordinary cold miss.
+            self.misses += 1
+            return None
+        try:
+            envelope = json.loads(text)
             if (
                 not isinstance(envelope, dict)
                 or envelope.get("cache_schema") != CACHE_SCHEMA_VERSION
@@ -106,7 +118,10 @@ class ResultCache:
             if not job.validate(result):
                 raise ReproError("cache entry fails job validation")
         except (OSError, ValueError, KeyError, TypeError, IndexError, ReproError):
+            # An entry existed but could not be used: a *stale* miss.  It will
+            # be overwritten by the recomputed result.
             self.misses += 1
+            self.stale_misses += 1
             return None
         self.hits += 1
         return result

@@ -51,8 +51,11 @@ from repro.graphs.graph import Graph
 #: History: 1 — MSROPM-only SolveJobs.  2 — polymorphic job protocol
 #: (``job_kind`` in the hashed identity) and the raw (unclipped) stage-1
 #: accuracy added to persisted results; cached v1 entries would deserialize
-#: without the raw field, so they are invalidated wholesale.
-JOB_SCHEMA_VERSION = 2
+#: without the raw field, so they are invalidated wholesale.  3 — the
+#: precision tier rides in the hashed config (``MSROPMConfig.precision``) and
+#: results carry execution metadata; exact and throughput runs of the same
+#: workload therefore hash differently and can never share a cache entry.
+JOB_SCHEMA_VERSION = 3
 
 
 def _sha256_text(text: str) -> str:
@@ -493,7 +496,12 @@ class SolveJob(Job):
             stop=self.stop,
             seed=self.seed,
         )
-        return SolveResult(graph=graph, num_colors=self.config.num_colors, iterations=iterations)
+        return SolveResult(
+            graph=graph,
+            num_colors=self.config.num_colors,
+            iterations=iterations,
+            metadata=machine.result_metadata(),
+        )
 
     # ------------------------------------------------------------------
     # Job protocol
@@ -591,4 +599,9 @@ def merge_job_results(jobs: List[SolveJob], results: List[SolveResult]) -> Solve
     ordered = sorted(zip(jobs, results), key=lambda pair: pair[0].replica_start)
     iterations = [item for _, result in ordered for item in result.iterations]
     first = ordered[0][1]
-    return SolveResult(graph=first.graph, num_colors=first.num_colors, iterations=iterations)
+    return SolveResult(
+        graph=first.graph,
+        num_colors=first.num_colors,
+        iterations=iterations,
+        metadata=dict(first.metadata),
+    )

@@ -108,11 +108,13 @@ class ExperimentRunner:
             "memo_entries": len(self._memo),
             "cache_hits": 0,
             "cache_misses": 0,
+            "cache_stale_misses": 0,
             "cache_stores": 0,
         }
         if self.cache is not None:
             counters["cache_hits"] = self.cache.hits
             counters["cache_misses"] = self.cache.misses
+            counters["cache_stale_misses"] = self.cache.stale_misses
             counters["cache_stores"] = self.cache.stores
         return counters
 

@@ -54,8 +54,13 @@ from repro.workloads.registry import (
 #: Directory of the bundled DIMACS benchmark instances.
 DATA_DIR = Path(__file__).resolve().parent / "data"
 
-#: Chromatic numbers of the bundled instances (Mycielski graphs).
-BUNDLED_DIMACS_CHROMATIC = {"myciel3": 4, "myciel4": 5}
+#: Chromatic numbers of the bundled instances (Mycielski and queens graphs).
+BUNDLED_DIMACS_CHROMATIC = {
+    "myciel3": 4,
+    "myciel4": 5,
+    "queen5_5": 5,
+    "queen6_6": 7,
+}
 
 #: Largest random instance the exact backtracking reference is attempted on.
 _BACKTRACK_REFERENCE_NODES = 64
@@ -263,6 +268,19 @@ register_family(
         default_grid=({"instance": "myciel3"}, {"instance": "myciel4"}),
         spec_factory=_dimacs_spec,
         reference_provider=_dimacs_reference,
+    )
+)
+
+register_family(
+    WorkloadFamily(
+        name="queens",
+        description="bundled DIMACS queens graphs (row/column/diagonal cliques), 8 colors",
+        kind="coloring",
+        seeded=False,
+        default_grid=({"instance": "queen5_5"}, {"instance": "queen6_6"}),
+        spec_factory=_dimacs_spec,
+        reference_provider=_dimacs_reference,
+        num_colors=8,
     )
 )
 

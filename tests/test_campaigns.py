@@ -576,8 +576,10 @@ class TestRawStage1Accuracy:
     def test_schema_bumped_for_the_new_field(self):
         from repro.analysis.results_io import FORMAT_VERSION
 
-        assert JOB_SCHEMA_VERSION == 2
-        assert FORMAT_VERSION == 3
+        # Raw accuracies bumped these to 2/3; the precision tier bumped them
+        # again (tier in the job hash, metadata in the payload).
+        assert JOB_SCHEMA_VERSION == 3
+        assert FORMAT_VERSION == 4
 
 
 # ----------------------------------------------------------------------
