@@ -114,3 +114,86 @@ def test_bench_runtime_suite(tmp_path):
     # Pool speedup is only meaningful with real cores to spread across.
     if cpu_count >= 2 * BENCH_WORKERS:
         assert speedup >= 1.2
+
+
+def _solve_batch(seeds):
+    from repro.core.config import MSROPMConfig
+    from repro.runtime.jobs import KingsGraphSpec, SolveJob
+
+    config = MSROPMConfig(num_colors=4, seed=BENCH_SEED)
+    return [
+        SolveJob(spec=KingsGraphSpec(6, 6), config=config, seed=seed, total_iterations=4)
+        for seed in seeds
+    ]
+
+
+def _batch_fingerprint(results):
+    return [
+        [(item.iteration_index, item.seed, item.accuracy) for item in result.iterations]
+        for result in results
+    ]
+
+
+def test_bench_fleet_dispatch(tmp_path):
+    """Fleet section: spool vs local-pool dispatch overhead at equal parallelism.
+
+    Times one batch of solves through the local process pool and through the
+    spool backend (same worker count; the spool spawns ``workers - 1`` fleet
+    child processes and the submitter drains alongside them), cold and warm,
+    and merges a ``fleet`` section into ``BENCH_runtime.json``.  Results are
+    asserted bit-identical across serial, pool, and spool topologies — the
+    fleet's core invariant.
+    """
+    from repro.runtime.executors import SpoolExecutorBackend
+    from repro.runtime.scheduler import JobScheduler
+
+    num_jobs = 8
+    serial = JobScheduler(workers=1).run(_solve_batch(range(num_jobs)))
+
+    with JobScheduler(workers=BENCH_WORKERS) as pool_scheduler:
+        start = time.perf_counter()
+        pooled = pool_scheduler.run(_solve_batch(range(num_jobs)))
+        local_s = time.perf_counter() - start
+
+    backend = SpoolExecutorBackend(
+        tmp_path / "spool", workers=BENCH_WORKERS, poll_interval=0.01
+    )
+    with JobScheduler(backend=backend) as spool_scheduler:
+        # Cold: includes spawning the warm fleet children (python startup).
+        start = time.perf_counter()
+        spooled = spool_scheduler.run(_solve_batch(range(num_jobs)))
+        spool_cold_s = time.perf_counter() - start
+        # Warm: children already attached; fresh seeds so nothing is answered.
+        start = time.perf_counter()
+        spooled_warm = spool_scheduler.run(
+            _solve_batch(range(num_jobs, 2 * num_jobs))
+        )
+        spool_warm_s = time.perf_counter() - start
+
+    assert _batch_fingerprint(serial) == _batch_fingerprint(pooled)
+    assert _batch_fingerprint(serial) == _batch_fingerprint(spooled)
+    assert len(spooled_warm) == num_jobs
+
+    fleet = {
+        "jobs": num_jobs,
+        "workers": BENCH_WORKERS,
+        "local_pool_s": round(local_s, 4),
+        "spool_cold_s": round(spool_cold_s, 4),
+        "spool_warm_s": round(spool_warm_s, 4),
+        # Positive = the spool's per-job file-handoff cost vs in-memory IPC.
+        "spool_overhead_per_job_s": round((spool_warm_s - local_s) / num_jobs, 5),
+        "jobs_executed_by_submitter": backend.jobs_executed_locally,
+        "jobs_stolen_by_fleet": backend.jobs_stolen,
+        "fleet_children_spawned": backend.children_spawned,
+    }
+    try:
+        payload = json.loads(BENCH_OUT.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        payload = {"benchmark": "runtime-suite"}
+    payload["fleet"] = fleet
+    BENCH_OUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"\nfleet dispatch @ {num_jobs} jobs x {BENCH_WORKERS} workers: "
+        f"local pool {local_s:.2f}s, spool cold {spool_cold_s:.2f}s, "
+        f"spool warm {spool_warm_s:.2f}s -> {BENCH_OUT}"
+    )

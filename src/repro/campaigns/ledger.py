@@ -227,6 +227,22 @@ class RunLedger:
         return state
 
     # ------------------------------------------------------------------
+    def referenced_job_hashes(self) -> "set[str]":
+        """The union of job hashes any recorded run marked finished.
+
+        This is the *reference set* for artifact-store garbage collection
+        (``msropm cache gc --drop-unreferenced``): a cache entry appearing in
+        no campaign ledger is reachable only by rebuilding the identical job
+        by hand, so it is safe to sweep.  Unreadable/corrupt journals
+        contribute nothing (their runs surface errors when actually resumed).
+        """
+        referenced: set = set()
+        for state in self.list_runs():
+            for hashes in state.finished_jobs.values():
+                referenced.update(hashes)
+        return referenced
+
+    # ------------------------------------------------------------------
     def list_runs(self) -> List[LedgerState]:
         """Replay every journal under the root, newest first.
 

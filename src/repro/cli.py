@@ -46,6 +46,23 @@ stage with zero recomputation)::
     msropm campaign list
     msropm campaign status <run-id>
     msropm campaign resume <run-id> --workers 4
+
+Fleet execution: drain the same jobs through a shared filesystem spool that
+any number of worker processes (or hosts on a shared mount) steal from, with
+bit-identical reports::
+
+    msropm fleet worker /tmp/spool --wait &
+    msropm scenarios --workers 2 --executor spool --spool-dir /tmp/spool
+    msropm fleet status /tmp/spool
+    msropm fleet stop /tmp/spool
+
+Inspect and maintain the artifact store (the content-addressed result cache)::
+
+    msropm cache stats
+    msropm cache verify --prune
+    msropm cache gc --drop-unreferenced
+    msropm cache export results.tar.gz
+    msropm cache import results.tar.gz
 """
 
 from __future__ import annotations
@@ -64,9 +81,16 @@ from repro.experiments.suite import run_suite
 from repro.experiments.table1_stats import run_table1
 from repro.experiments.table2_comparison import run_table2
 from repro.graphs.generators import kings_graph
-from repro.runtime.cache import default_cache_dir
+from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.executors import EXECUTOR_NAMES
 from repro.runtime.jobs import KingsGraphSpec, as_graph_spec
 from repro.runtime.runner import ExperimentRunner
+from repro.runtime.spool import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_POLL_INTERVAL,
+    JobSpool,
+    run_fleet_worker,
+)
 from repro.workloads import default_workload, family_names, get_family, iter_families
 
 
@@ -96,13 +120,44 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         help="split each solve into jobs of at most this many iterations "
         "(chunk boundaries are independent of --workers, so cache keys are too)",
     )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_NAMES,
+        default="local",
+        help="executor backend: 'local' runs a warm process pool on this host; "
+        "'spool' drains jobs through a shared filesystem spool that external "
+        "'msropm fleet worker' processes steal from (results bit-identical)",
+    )
+    parser.add_argument(
+        "--spool-dir",
+        default=None,
+        help="shared spool directory for --executor spool",
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=DEFAULT_LEASE_TIMEOUT,
+        help="seconds before a dead fleet worker's claim is reclaimed "
+        f"(spool executor; default {DEFAULT_LEASE_TIMEOUT:g})",
+    )
 
 
 def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
     """Build the :class:`ExperimentRunner` described by the runtime flags."""
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    executor = getattr(args, "executor", "local")
+    executor_options = {}
+    if executor == "spool":
+        executor_options["lease_timeout"] = getattr(
+            args, "lease_timeout", DEFAULT_LEASE_TIMEOUT
+        )
     return ExperimentRunner(
-        workers=args.workers, cache_dir=cache_dir, replica_chunk=args.replica_chunk
+        workers=args.workers,
+        cache_dir=cache_dir,
+        replica_chunk=args.replica_chunk,
+        executor=executor,
+        spool_dir=getattr(args, "spool_dir", None),
+        executor_options=executor_options,
     )
 
 
@@ -270,6 +325,123 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_list.add_argument(
         "--cache-dir", default=None, help="cache directory holding the campaign ledgers"
     )
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="work-stealing fleet execution over a shared filesystem spool",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_worker = fleet_sub.add_parser(
+        "worker", help="drain jobs from a spool directory (crash-tolerant)"
+    )
+    fleet_worker.add_argument("spool_dir", help="the shared spool directory")
+    fleet_worker.add_argument(
+        "--wait",
+        action="store_true",
+        help="keep polling for new work after the spool drains "
+        "(exit on 'fleet stop' or --idle-timeout); default: exit once drained",
+    )
+    fleet_worker.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="exit after this many seconds of continuous idleness",
+    )
+    fleet_worker.add_argument(
+        "--max-jobs", type=int, default=None, help="exit after executing this many jobs"
+    )
+    fleet_worker.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=DEFAULT_LEASE_TIMEOUT,
+        help="seconds before another worker's unrefreshed claim is reclaimed "
+        f"(default {DEFAULT_LEASE_TIMEOUT:g})",
+    )
+    fleet_worker.add_argument(
+        "--poll-interval",
+        type=float,
+        default=DEFAULT_POLL_INTERVAL,
+        help=f"seconds between idle spool scans (default {DEFAULT_POLL_INTERVAL:g})",
+    )
+    fleet_worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="show a spool's pending/active/result counts"
+    )
+    fleet_status.add_argument("spool_dir", help="the shared spool directory")
+
+    fleet_stop = fleet_sub.add_parser(
+        "stop", help="ask waiting workers on a spool to exit (place a stop marker)"
+    )
+    fleet_stop.add_argument("spool_dir", help="the shared spool directory")
+    fleet_stop.add_argument(
+        "--clear",
+        action="store_true",
+        help="remove the stop marker instead, so new workers keep waiting",
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect and maintain the content-addressed artifact store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    def _add_cache_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help="cache directory (default: $MSROPM_CACHE_DIR or ~/.cache/msropm)",
+        )
+
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry counts and bytes, total and per namespace"
+    )
+    _add_cache_dir(cache_stats)
+
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="integrity sweep: re-hash every envelope; exit 1 if corrupt "
+        "entries remain",
+    )
+    _add_cache_dir(cache_verify)
+    cache_verify.add_argument(
+        "--prune", action="store_true", help="delete corrupt entries as found"
+    )
+
+    cache_gc = cache_sub.add_parser(
+        "gc", help="sweep schema-stale and corrupt entries (already read as misses)"
+    )
+    _add_cache_dir(cache_gc)
+    cache_gc.add_argument(
+        "--drop-unreferenced",
+        action="store_true",
+        help="also remove sound job results no campaign ledger references",
+    )
+
+    cache_export = cache_sub.add_parser(
+        "export", help="write verified entries to a portable result bundle (tar.gz)"
+    )
+    _add_cache_dir(cache_export)
+    cache_export.add_argument("bundle", help="path of the bundle file to write")
+    cache_export.add_argument(
+        "--run-id",
+        default=None,
+        help="restrict to the job hashes one campaign run recorded finished",
+    )
+    cache_export.add_argument(
+        "--no-payloads",
+        action="store_true",
+        help="skip payload namespaces (reference solutions), export job results only",
+    )
+
+    cache_import = cache_sub.add_parser(
+        "import",
+        help="merge a bundle into this store (every member integrity-verified first)",
+    )
+    _add_cache_dir(cache_import)
+    cache_import.add_argument("bundle", help="path of the bundle file to read")
 
     return parser
 
@@ -542,6 +714,123 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "worker":
+        log = None if args.quiet else print
+        counters = run_fleet_worker(
+            args.spool_dir,
+            wait=args.wait,
+            idle_timeout=args.idle_timeout,
+            max_jobs=args.max_jobs,
+            lease_timeout=args.lease_timeout,
+            poll_interval=args.poll_interval,
+            log=log,
+        )
+        print(
+            f"fleet worker: {counters['executed']} job(s) executed, "
+            f"{counters['failed']} failed, {counters['reclaimed']} claim(s) reclaimed"
+        )
+        return 0
+    spool = JobSpool(args.spool_dir)
+    if args.fleet_command == "status":
+        if not spool.exists:
+            print(f"{spool.root} is not an initialized spool")
+            return 1
+        counts = spool.counts()
+        print(f"spool {spool.root}")
+        print(f"pending: {counts['pending']}")
+        print(f"active:  {counts['active']}")
+        print(f"results: {counts['results']}")
+        print(f"stop requested: {'yes' if spool.stop_requested else 'no'}")
+        return 0
+    if args.fleet_command == "stop":
+        if args.clear:
+            spool.clear_stop()
+            print(f"stop marker cleared on {spool.root}")
+        else:
+            spool.request_stop()
+            print(f"stop requested on {spool.root} (waiting workers will exit)")
+        return 0
+    raise AssertionError(f"unhandled fleet command {args.fleet_command!r}")
+
+
+def _human_bytes(count: int) -> str:
+    """A compact human-readable byte count (binary units)."""
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{count} B"
+        size /= 1024
+    return f"{count} B"  # pragma: no cover - unreachable
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    store = ResultCache(args.cache_dir or default_cache_dir())
+    if args.cache_command == "stats":
+        stats = store.stats()
+        rows = [
+            [kind, bucket["entries"], _human_bytes(bucket["bytes"])]
+            for kind, bucket in sorted(stats["kinds"].items())
+        ]
+        rows.append(["total", stats["entries"], _human_bytes(stats["bytes"])])
+        print(
+            format_table(
+                ("Namespace", "Entries", "Size"),
+                rows,
+                title=f"Artifact store {stats['root']} (schema v{stats['cache_schema']})",
+            )
+        )
+        return 0
+    if args.cache_command == "verify":
+        report = store.verify(prune=args.prune)
+        print(
+            f"cache verify: {report['ok']} ok, {report['stale']} stale, "
+            f"{report['corrupt']} corrupt ({report['pruned']} pruned)"
+        )
+        for entry in report["corrupt_entries"]:
+            print(f"corrupt: {entry['path']}: {entry['detail']}")
+        return 1 if report["corrupt"] > report["pruned"] else 0
+    if args.cache_command == "gc":
+        referenced = None
+        if args.drop_unreferenced:
+            referenced = _campaign_ledger(args.cache_dir).referenced_job_hashes()
+        removed = store.gc(referenced=referenced)
+        print(
+            f"cache gc: removed {removed['stale']} stale, {removed['corrupt']} corrupt, "
+            f"{removed['unreferenced']} unreferenced; kept {removed['kept']}"
+        )
+        return 0
+    if args.cache_command == "export":
+        job_hashes = None
+        if args.run_id is not None:
+            state = _campaign_ledger(args.cache_dir).replay(args.run_id)
+            job_hashes = {
+                job_hash
+                for hashes in state.finished_jobs.values()
+                for job_hash in hashes
+            }
+        manifest = store.export_bundle(
+            args.bundle,
+            job_hashes=job_hashes,
+            include_payloads=not args.no_payloads,
+        )
+        print(
+            f"cache export: {len(manifest['entries'])} result(s), "
+            f"{len(manifest['payloads'])} payload(s) -> {args.bundle} "
+            f"({manifest['skipped_unsound']} unsound entr"
+            f"{'y' if manifest['skipped_unsound'] == 1 else 'ies'} skipped)"
+        )
+        return 0
+    if args.cache_command == "import":
+        counters = store.import_bundle(args.bundle)
+        print(
+            f"cache import: {counters['imported']} imported, "
+            f"{counters['existing']} already present, {counters['rejected']} rejected"
+        )
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``msropm`` command."""
     parser = build_parser()
@@ -608,6 +897,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_equivalence(args)
     if args.command == "campaign":
         return _run_campaign(args)
+    if args.command == "fleet":
+        return _run_fleet(args)
+    if args.command == "cache":
+        return _run_cache(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

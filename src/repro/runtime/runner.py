@@ -34,6 +34,7 @@ from repro.core.config import MSROPMConfig
 from repro.core.results import SolveResult
 from repro.graphs.graph import Graph
 from repro.runtime.cache import ResultCache
+from repro.runtime.executors import make_backend
 from repro.runtime.jobs import GraphSpec, Job, SolveJob, as_graph_spec, merge_job_results
 from repro.runtime.scheduler import JobScheduler
 
@@ -64,6 +65,15 @@ class ExperimentRunner:
         a single large solve can shard across workers.  Chunk boundaries
         depend only on this value — never on ``workers`` — keeping cache
         hashes identical across worker counts.
+    executor:
+        Executor backend name: ``"local"`` (the default warm process pool) or
+        ``"spool"`` (fleet execution over a shared filesystem spool;
+        requires ``spool_dir``).  Results are bit-identical across backends.
+    spool_dir:
+        The shared spool directory for ``executor="spool"``.
+    executor_options:
+        Extra keyword options forwarded to the backend constructor (e.g.
+        ``lease_timeout`` for the spool backend).
     """
 
     def __init__(
@@ -71,8 +81,14 @@ class ExperimentRunner:
         workers: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         replica_chunk: Optional[int] = None,
+        executor: str = "local",
+        spool_dir: Optional[Union[str, Path]] = None,
+        executor_options: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self.scheduler = JobScheduler(workers)
+        backend = make_backend(
+            executor, workers=workers, spool_dir=spool_dir, **(executor_options or {})
+        )
+        self.scheduler = JobScheduler(backend=backend)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.replica_chunk = replica_chunk
         self._memo: Dict[str, SolveResult] = {}
@@ -83,6 +99,11 @@ class ExperimentRunner:
     def workers(self) -> int:
         """Number of scheduler worker processes."""
         return self.scheduler.workers
+
+    @property
+    def executor(self) -> str:
+        """Registry name of the scheduler's executor backend."""
+        return self.scheduler.executor
 
     def close(self) -> None:
         """Release the scheduler's warm worker pool (idempotent).

@@ -1,228 +1,112 @@
-"""Process-pool scheduler: shard runtime jobs across a warm pool of workers.
+"""JobScheduler: batch execution facade over pluggable executor backends.
 
-The evaluation grid (problems x sweep points x replica chunks) is
-embarrassingly parallel — jobs share no state, and every job is seeded — so
-the scheduler is deliberately simple: a :class:`concurrent.futures.ProcessPoolExecutor`
-fan-out with order-preserving collection.  Four properties matter:
+The scheduler used to be hard-wired to one local
+:class:`~concurrent.futures.ProcessPoolExecutor`; it is now a thin,
+backend-agnostic facade.  A backend (:mod:`repro.runtime.executors`) turns a
+batch of :class:`~repro.runtime.jobs.Job` values into JSON payloads in
+submission order; the scheduler's own job is everything that must be
+*identical across backends*:
 
-* **Determinism.**  Results are collected by submission index, never by
+* **Determinism.**  Payloads are collected by submission index, never by
   completion order, and each job's randomness is fully determined by its
-  seeds, so a run with ``workers=N`` is bit-identical to ``workers=1``.
-* **Serial fast path.**  With one worker (or one job) everything runs in the
-  calling process — no pool, no pickling — which is also the reference
-  behaviour the parallel path is tested against.
-* **Warm pool.**  The process pool is created once, on the first parallel
-  batch, and kept alive for the scheduler's lifetime: every later
-  :meth:`JobScheduler.run` call (``msropm suite`` runs several, the scenario
-  matrix one per family sweep) reuses the same worker processes, paying
-  interpreter spin-up, module imports, and the per-worker machine memo warm-up
-  exactly once.  A pool initializer pre-imports the solver stack and caps the
-  BLAS/OpenMP thread pools (one numpy thread per worker process), so
-  process-level parallelism is never oversubscribed by GEMM threads.  Close
-  the scheduler (context manager, :meth:`close`) to release the workers.
-* **Normalized payloads.**  Workers return results in each job's persisted
-  JSON form (the same form the cache stores), so a result is identical
-  whether it came from the serial path, a worker process, or a cache hit.
+  seeds, so a run is bit-identical whether it executed serially, across a
+  local pool, or on N fleet processes draining a shared spool.
+* **Uniform decode.**  Workers and backends traffic in each job's persisted
+  JSON form (the same form the cache stores); the scheduler decodes exactly
+  once, so a result is indistinguishable whether it came from the serial
+  path, a worker process, a fleet worker on another host, or a cache hit.
+* **Lifecycle.**  Warm backend state (a process pool, spawned fleet workers)
+  is released by :meth:`JobScheduler.close`, context-manager exit, or
+  garbage collection.
+
+The default backend is :class:`~repro.runtime.executors.LocalPoolExecutorBackend`
+(current single-host behavior, serial fast path at ``workers=1``); pass any
+other :class:`~repro.runtime.executors.ExecutorBackend` to scale differently.
+Worker-environment utilities (thread caps, pool initializer) live in
+:mod:`repro.runtime.worker_env` and are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.exceptions import ConfigurationError
+from repro.runtime.executors import ExecutorBackend, LocalPoolExecutorBackend
 from repro.runtime.jobs import Job
 
-#: Thread-pool environment caps applied to worker processes (and defaulted in
-#: the parent before the pool forks/spawns, so the libraries that read them at
-#: import time see them).  One BLAS/OpenMP thread per worker process: the
-#: runtime's parallelism is process-level, and letting every worker's GEMM
-#: spawn `cpu_count` threads oversubscribes the machine.
-WORKER_THREAD_CAPS: Dict[str, str] = {
-    "OMP_NUM_THREADS": "1",
-    "OPENBLAS_NUM_THREADS": "1",
-    "MKL_NUM_THREADS": "1",
-    "NUMEXPR_NUM_THREADS": "1",
-}
-
-
-#: C-interface ``set_num_threads`` entry points of the math libraries
-#: numpy/scipy may have loaded: plain and ILP64-suffixed OpenBLAS builds, the
-#: scipy-openblas wheels, OpenMP runtimes, MKL.  Deliberately excludes the
-#: Fortran-mangled variants (trailing ``_`` after the ILP64 suffix), which
-#: take their argument by reference and crash when called by value.
-_THREAD_SETTER_SYMBOLS = (
-    "openblas_set_num_threads",
-    "openblas_set_num_threads64_",
-    "scipy_openblas_set_num_threads",
-    "scipy_openblas_set_num_threads64_",
-    "omp_set_num_threads",
-    "MKL_Set_Num_Threads",
+# Re-exported for compatibility: these lived here before the backend split.
+from repro.runtime.worker_env import (  # noqa: F401
+    WORKER_THREAD_CAPS,
+    _execute_job,
+    _worker_init,
+    limit_math_threads,
 )
-
-#: Basename prefixes of the runtime libraries worth probing.  The filter is
-#: deliberately narrow: matching on substrings like ``omp`` would also catch
-#: CPython extension modules (``_decomp_*.so``), which must not be re-opened
-#: outside the import machinery.
-_THREAD_LIBRARY_PREFIXES = (
-    "libopenblas",
-    "libscipy_openblas",
-    "libblas",
-    "libcblas",
-    "libmkl_rt",
-    "libgomp",
-    "libiomp",
-    "libomp",
-)
-
-
-def limit_math_threads(limit: int) -> bool:
-    """Cap the thread pools of *already loaded* BLAS/OpenMP libraries.
-
-    Environment variables only configure a math library at import time, so
-    under the ``fork`` start method (the Linux default) a worker inherits the
-    parent's fully initialized, ``cpu_count``-threaded OpenBLAS no matter what
-    the initializer exports.  This applies the cap in-process instead: through
-    ``threadpoolctl`` when it is installed, otherwise by calling the first
-    recognized ``*_set_num_threads`` entry point of every BLAS/OpenMP runtime
-    library the process has mapped (re-``dlopen``-ing a mapped library returns
-    the live handle).  Returns whether any pool was actually capped
-    (``False`` e.g. on non-Linux without threadpoolctl, where the environment
-    route is the only one available).
-    """
-    try:
-        from threadpoolctl import threadpool_limits
-
-        threadpool_limits(limits=limit)
-        return True
-    except Exception:
-        pass
-    applied = False
-    try:
-        import ctypes
-
-        paths = set()
-        with open("/proc/self/maps", encoding="utf-8") as handle:
-            for line in handle:
-                tail = line.rsplit(None, 1)[-1]
-                basename = tail.rsplit("/", 1)[-1].lower()
-                if basename.startswith(_THREAD_LIBRARY_PREFIXES) and ".so" in basename:
-                    paths.add(tail)
-        for path in sorted(paths):
-            try:
-                library = ctypes.CDLL(path)
-            except OSError:
-                continue
-            for symbol in _THREAD_SETTER_SYMBOLS:
-                setter = getattr(library, symbol, None)
-                if setter is None:
-                    continue
-                try:
-                    setter.argtypes = [ctypes.c_int]
-                    setter.restype = None
-                    setter(ctypes.c_int(limit))
-                    applied = True
-                except Exception:
-                    pass
-                break  # one setter per library; the variants share one pool
-    except Exception:
-        return applied
-    return applied
-
-
-def _worker_init(thread_caps: Dict[str, str]) -> None:
-    """Pool initializer: cap math-library threads and pre-import the solver.
-
-    Runs once per worker process before any job.  The caps are applied twice
-    over: via the environment (authoritative under ``spawn``/``forkserver``,
-    where numpy is imported afterwards, and for any library not yet loaded)
-    and via :func:`limit_math_threads` for the libraries a forked worker
-    inherited already initialized.  Pre-importing the solver stack moves
-    module import latency out of the first job's critical path.
-    """
-    os.environ.update(thread_caps)
-    if thread_caps:
-        limit = int(thread_caps.get("OMP_NUM_THREADS", "1"))
-        limit_math_threads(limit)
-    # Pre-import the heavy modules every job needs.
-    import repro.analysis.results_io  # noqa: F401
-    import repro.core.machine  # noqa: F401
-    import repro.workloads.registry  # noqa: F401
-
-
-def _execute_job(job: Job) -> Dict:
-    """Worker entry point: run one job and return its persisted-form payload.
-
-    Module-level (not a closure) so it pickles under every multiprocessing
-    start method; the dict payload keeps the parent<->worker wire format
-    identical to the cache format for every job type.
-    """
-    return job.execute()
 
 
 class JobScheduler:
-    """Executes batches of :class:`~repro.runtime.jobs.Job` across a warm
-    process pool.  Any mix of job types can share one batch: each job ships
-    its own ``execute`` body and decodes its own payload.
+    """Executes batches of :class:`~repro.runtime.jobs.Job` through an
+    executor backend.  Any mix of job types can share one batch: each job
+    ships its own ``execute`` body and decodes its own payload.
 
     Parameters
     ----------
     workers:
         Number of worker processes; ``1`` (default) runs jobs inline in the
-        calling process.
+        calling process.  Ignored when ``backend`` is given.
     thread_caps:
-        Environment caps applied to worker math libraries;
-        defaults to :data:`WORKER_THREAD_CAPS` (single-threaded BLAS/OpenMP).
-        Pass an empty dict to leave the environment untouched.
-
-    The pool is created lazily on the first parallel batch and reused by
-    every subsequent :meth:`run` call until :meth:`close` (or context-manager
-    exit, or garbage collection) shuts it down.
+        Environment caps applied to worker math libraries; defaults to
+        :data:`~repro.runtime.worker_env.WORKER_THREAD_CAPS` (single-threaded
+        BLAS/OpenMP).  Pass an empty dict to leave the environment untouched.
+        Ignored when ``backend`` is given.
+    backend:
+        An explicit :class:`~repro.runtime.executors.ExecutorBackend`; when
+        omitted, a local pool backend is built from ``workers``/``thread_caps``.
     """
 
-    def __init__(self, workers: int = 1, thread_caps: Optional[Dict[str, str]] = None) -> None:
-        if workers < 1:
-            raise ConfigurationError(f"workers must be >= 1, got {workers}")
-        self.workers = workers
-        self.thread_caps = dict(WORKER_THREAD_CAPS) if thread_caps is None else dict(thread_caps)
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self.pools_started = 0
+    def __init__(
+        self,
+        workers: int = 1,
+        thread_caps: Optional[Dict[str, str]] = None,
+        backend: Optional[ExecutorBackend] = None,
+    ) -> None:
+        if backend is None:
+            backend = LocalPoolExecutorBackend(workers=workers, thread_caps=thread_caps)
+        self.backend = backend
 
     # ------------------------------------------------------------------
     @property
+    def workers(self) -> int:
+        """The backend's configured worker parallelism."""
+        return self.backend.workers
+
+    @property
+    def executor(self) -> str:
+        """Registry name of the active backend (``local``, ``spool``, ...)."""
+        return self.backend.name
+
+    @property
     def start_method(self) -> str:
-        """The multiprocessing start method worker processes are created with."""
+        """The multiprocessing start method local worker processes use."""
         return multiprocessing.get_start_method()
 
     @property
-    def pool_active(self) -> bool:
-        """Whether a warm worker pool is currently alive."""
-        return self._pool is not None
+    def thread_caps(self) -> Dict[str, str]:
+        """Worker math-library thread caps (empty for cap-less backends)."""
+        return dict(getattr(self.backend, "thread_caps", {}))
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        """The scheduler's persistent pool (created on first use)."""
-        if self._pool is None:
-            # Default the caps in the parent too: children inherit the
-            # environment before importing numpy under spawn/forkserver, which
-            # is the only reliable moment to cap OpenBLAS/MKL threads.
-            for name, value in self.thread_caps.items():
-                os.environ.setdefault(name, value)
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_worker_init,
-                initargs=(self.thread_caps,),
-            )
-            self.pools_started += 1
-        return self._pool
+    @property
+    def pool_active(self) -> bool:
+        """Whether the backend holds a warm local worker pool."""
+        return bool(getattr(self.backend, "pool_active", False))
+
+    @property
+    def pools_started(self) -> int:
+        """How many local pools the backend has started (0 for non-pool backends)."""
+        return int(getattr(self.backend, "pools_started", 0))
 
     def close(self) -> None:
-        """Shut the warm pool down (idempotent); a later run() restarts it."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Release the backend's warm state (idempotent); later runs restart it."""
+        self.backend.close()
 
     def __enter__(self) -> "JobScheduler":
         return self
@@ -232,9 +116,7 @@ class JobScheduler:
 
     def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown timing
         try:
-            if self._pool is not None:
-                self._pool.shutdown(wait=False)
-                self._pool = None
+            self.backend.abort()
         except Exception:
             pass
 
@@ -244,21 +126,5 @@ class JobScheduler:
         jobs = list(jobs)
         if not jobs:
             return []
-        if self.workers == 1 or len(jobs) == 1:
-            return [job.decode(_execute_job(job)) for job in jobs]
-        # Without an explicit chunksize, pool.map ships jobs one at a time and
-        # a scenario matrix of many small jobs serializes on IPC round-trips.
-        # Target ~4 chunks per worker: big enough to amortize pickling, small
-        # enough to balance uneven job costs.  map() returns results in
-        # submission order regardless of chunking, preserving determinism.
-        chunksize = max(1, len(jobs) // (self.workers * 4))
-        pool = self._ensure_pool()
-        try:
-            payloads = pool.map(_execute_job, jobs, chunksize=chunksize)
-            return [job.decode(payload) for job, payload in zip(jobs, payloads)]
-        except BrokenProcessPool:
-            # A dead worker poisons the whole executor; drop it so the next
-            # batch starts a fresh pool instead of failing forever.
-            pool.shutdown(wait=False)
-            self._pool = None
-            raise
+        payloads = self.backend.run_payloads(jobs)
+        return [job.decode(payload) for job, payload in zip(jobs, payloads)]

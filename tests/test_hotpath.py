@@ -462,22 +462,25 @@ class TestWarmScheduler:
 
         from concurrent.futures.process import BrokenProcessPool
 
-        from repro.runtime import scheduler as scheduler_module
+        from repro.runtime import executors as executors_module
 
         if multiprocessing.get_start_method() != "fork":
             pytest.skip("worker-crash injection relies on fork inheriting the patch")
         scheduler = JobScheduler(workers=2)
         try:
-            # Every worker of the first pool dies on its first job, poisoning
-            # that pool.
-            monkeypatch.setattr(scheduler_module, "_execute_job", _crash_worker)
+            # Every worker dies on its first job, poisoning the pool — and the
+            # once-retried fresh pool dies the same way, so the error is
+            # systematic and must propagate.
+            monkeypatch.setattr(executors_module, "_execute_job", _crash_worker)
             with pytest.raises(BrokenProcessPool):
                 scheduler.run(self._jobs(range(4)))
-            assert not scheduler.pool_active  # the poisoned pool was dropped
+            assert not scheduler.pool_active  # the poisoned pools were dropped
+            assert scheduler.backend.broken_pool_retries == 1
+            assert scheduler.pools_started == 2  # original + the retry pool
             monkeypatch.undo()
             # The next batch must start a fresh, healthy pool.
             results = scheduler.run(self._jobs(range(4)))
-            assert scheduler.pools_started == 2
+            assert scheduler.pools_started == 3
             assert self._fingerprint(results) == self._fingerprint(
                 JobScheduler(workers=1).run(self._jobs(range(4)))
             )
