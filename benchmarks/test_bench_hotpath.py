@@ -47,6 +47,7 @@ from repro.core.stages import partition_coupling_matrix
 from repro.dynamics.batched import BlockDiagonalCoupling
 from repro.graphs import kings_graph
 from repro.rng import ReplicaRNG, make_rng, iteration_seeds
+from repro.runtime.atomic import write_atomic_json
 from repro.runtime.jobs import KingsGraphSpec, SolveJob, clear_machine_memo
 from repro.runtime.scheduler import JobScheduler
 
@@ -427,7 +428,7 @@ def test_bench_hotpath(tmp_path):
             "floor_utilization is how close the fast path runs to that floor"
         ),
     }
-    BENCH_OUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_atomic_json(BENCH_OUT, payload, indent=2)
     print(f"\nhotpath benchmark -> {BENCH_OUT}")
     for entry in boards:
         print(

@@ -29,6 +29,7 @@ import time
 from pathlib import Path
 
 from repro.experiments.suite import run_suite
+from repro.runtime.atomic import write_atomic_json
 from repro.runtime.runner import ExperimentRunner
 
 BENCH_SCALE = float(os.environ.get("REPRO_RUNTIME_BENCH_SCALE", "0.1"))
@@ -101,7 +102,7 @@ def test_bench_runtime_suite(tmp_path):
         "jobs_solved_serial": serial_result.runner_stats["jobs_run"],
         "jobs_solved_warm": warm_result.runner_stats["jobs_run"],
     }
-    BENCH_OUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_atomic_json(BENCH_OUT, payload, indent=2)
     print(
         f"\nruntime suite @ scale {BENCH_SCALE}: serial {serial_s:.2f}s, "
         f"{BENCH_WORKERS}-worker {parallel_s:.2f}s "
@@ -191,7 +192,7 @@ def test_bench_fleet_dispatch(tmp_path):
     except (OSError, ValueError):
         payload = {"benchmark": "runtime-suite"}
     payload["fleet"] = fleet
-    BENCH_OUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_atomic_json(BENCH_OUT, payload, indent=2)
     print(
         f"\nfleet dispatch @ {num_jobs} jobs x {BENCH_WORKERS} workers: "
         f"local pool {local_s:.2f}s, spool cold {spool_cold_s:.2f}s, "

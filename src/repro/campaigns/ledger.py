@@ -116,6 +116,8 @@ class RunLedger:
         path.parent.mkdir(parents=True, exist_ok=True)
         self._truncate_uncommitted_tail(path)
         record = dict(event)
+        # repro-lint: disable=determinism-wallclock -- event timestamps are
+        # observability metadata; nothing hashes or replays against them.
         record.setdefault("ts", time.time())
         line = json.dumps(record, sort_keys=True) + "\n"
         # One write() on an O_APPEND descriptor: concurrent readers see either

@@ -443,6 +443,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_dir(cache_import)
     cache_import.add_argument("bundle", help="path of the bundle file to read")
 
+    dev = subparsers.add_parser(
+        "dev", help="developer tooling: the repro-lint static analyzer"
+    )
+    dev_sub = dev.add_subparsers(dest="dev_command", required=True)
+
+    dev_lint = dev_sub.add_parser(
+        "lint",
+        help="run the invariant checkers (determinism, schema-hash coupling, "
+        "atomicity, hot-path discipline); exit 1 on findings",
+    )
+    dev_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    dev_lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="restrict to a checker name or rule id (repeatable)",
+    )
+    dev_lint.add_argument(
+        "--root",
+        default=None,
+        help="repo root (default: nearest ancestor with pyproject.toml)",
+    )
+
+    dev_regen = dev_sub.add_parser(
+        "regen-manifest",
+        help="recompute devtools/schema_manifest.json after a schema change "
+        "and its version bump",
+    )
+    dev_regen.add_argument(
+        "--force",
+        action="store_true",
+        help="regenerate even when a changed surface's version is unbumped",
+    )
+    dev_regen.add_argument(
+        "--check",
+        action="store_true",
+        help="only report whether the manifest is current; write nothing",
+    )
+    dev_regen.add_argument(
+        "--root",
+        default=None,
+        help="repo root (default: nearest ancestor with pyproject.toml)",
+    )
+
     return parser
 
 
@@ -831,6 +881,25 @@ def _run_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def _run_dev(args: argparse.Namespace) -> int:
+    # Imported lazily: the analyzer is developer tooling, and solve-path
+    # invocations should not pay for (or depend on) it.
+    from pathlib import Path
+
+    from repro.devtools.__main__ import (
+        find_repo_root,
+        run_lint_command,
+        run_regen_command,
+    )
+
+    root = (Path(args.root) if args.root else find_repo_root()).resolve()
+    if args.dev_command == "lint":
+        return run_lint_command(root, args.format, args.rule)
+    if args.dev_command == "regen-manifest":
+        return run_regen_command(root, args.force, args.check)
+    raise AssertionError(f"unhandled dev command {args.dev_command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``msropm`` command."""
     parser = build_parser()
@@ -901,6 +970,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_fleet(args)
     if args.command == "cache":
         return _run_cache(args)
+    if args.command == "dev":
+        return _run_dev(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -1,0 +1,110 @@
+"""Command-line front door: ``python -m repro.devtools <command>``.
+
+``msropm dev`` delegates here, so CI and humans share one implementation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.devtools import analyzer, schema
+
+
+def find_repo_root(start: Optional[Path] = None) -> Path:
+    """The nearest ancestor holding ``pyproject.toml`` (fallback: cwd)."""
+    cursor = (start or Path.cwd()).resolve()
+    for candidate in (cursor, *cursor.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return cursor
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools",
+        description="In-repo static analysis guarding the reproduction's invariants.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root (default: nearest ancestor with pyproject.toml)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    lint = commands.add_parser("lint", help="run the checker suite")
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="restrict to a checker name or rule id (repeatable)",
+    )
+
+    regen = commands.add_parser(
+        "regen-manifest",
+        help="recompute devtools/schema_manifest.json (requires version bumps)",
+    )
+    regen.add_argument(
+        "--force",
+        action="store_true",
+        help="regenerate even when a changed surface's version is unbumped",
+    )
+    regen.add_argument(
+        "--check",
+        action="store_true",
+        help="only report whether the manifest is current; write nothing",
+    )
+    return parser
+
+
+def run_lint_command(root: Path, fmt: str, rules: Optional[List[str]]) -> int:
+    try:
+        findings = analyzer.run_lint(root, rules=rules)
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    if fmt == "json":
+        sys.stdout.write(analyzer.render_json(findings))
+    else:
+        print(analyzer.render_text(findings))
+    return 1 if findings else 0
+
+
+def run_regen_command(root: Path, force: bool, check: bool) -> int:
+    if check:
+        current = schema.compute_manifest(root)
+        checked_in = schema.load_manifest(root)
+        if checked_in == current:
+            print("schema manifest is current")
+            return 0
+        print("schema manifest is stale; run regen-manifest")
+        return 1
+    try:
+        path, manifest = schema.regenerate(root, force=force)
+    except schema.SchemaExtractionError as exc:
+        print(f"regen-manifest: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {path} (fingerprint {manifest['fingerprint'][:12]})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    root = (args.root or find_repo_root()).resolve()
+    if args.command == "lint":
+        return run_lint_command(root, args.format, args.rule)
+    return run_regen_command(root, args.force, args.check)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Atomicity checker: durable artifacts are published by atomic rename only.
+
+The spool, the result cache, the campaign ledger and the benchmark payloads
+are all read concurrently with writers (fleet workers, resumed campaigns,
+CI artifact uploads).  A truncating ``open(..., "w")`` exposes readers to a
+half-written file; the blessed pattern is
+:mod:`repro.runtime.atomic` (write-to-temp in the target directory +
+``os.replace``), or ``O_APPEND`` single-write appends for the JSONL ledger.
+
+Rule ``atomic-write`` flags, inside the scoped durability modules:
+
+* ``open(...)`` with a truncating/creating mode (any ``w`` or ``x``),
+* ``Path.write_text`` / ``Path.write_bytes`` calls,
+* direct ``tempfile.NamedTemporaryFile`` use (hand-rolled rename dances
+  belong in the shared helper, not inline).
+
+Append (``"a"``) and read/repair (``"r"``, ``"rb+"``) modes pass: the
+ledger's O_APPEND single-write protocol is its own atomicity story.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, List, Optional
+
+from repro.devtools.analyzer import (
+    Checker,
+    Finding,
+    LintConfig,
+    ModuleSource,
+    dotted_name,
+)
+
+_WRITE_METHODS = {"write_text", "write_bytes"}
+
+
+def _call_mode(node: ast.Call) -> Optional[str]:
+    """The constant-string mode of an ``open`` call (``None`` = unknown)."""
+    mode: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+class AtomicityChecker(Checker):
+    name = "atomicity"
+    rules = ("atomic-write",)
+    DEFAULTS: Dict[str, Any] = {
+        "paths": [
+            "src/repro/runtime/spool.py",
+            "src/repro/runtime/cache.py",
+            "src/repro/campaigns",
+            "benchmarks",
+        ],
+    }
+
+    def check_module(self, module: ModuleSource, config: LintConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        hint = "publish via repro.runtime.atomic.write_atomic_{bytes,text,json}"
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name == "open" or (name or "").endswith(".open"):
+                mode = _call_mode(node)
+                if mode is None or any(flag in mode for flag in ("w", "x")):
+                    shown = "?" if mode is None else mode
+                    findings.append(
+                        Finding(
+                            rule="atomic-write",
+                            path=module.relpath,
+                            line=node.lineno,
+                            message=(
+                                f"truncating open(mode={shown!r}) in a durability "
+                                "module can expose readers to a torn file"
+                            ),
+                            hint=hint,
+                        )
+                    )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _WRITE_METHODS
+            ):
+                findings.append(
+                    Finding(
+                        rule="atomic-write",
+                        path=module.relpath,
+                        line=node.lineno,
+                        message=(
+                            f"direct .{node.func.attr}() bypasses the atomic-rename "
+                            "helpers"
+                        ),
+                        hint=hint,
+                    )
+                )
+            elif name in ("tempfile.NamedTemporaryFile", "tempfile.mkstemp"):
+                findings.append(
+                    Finding(
+                        rule="atomic-write",
+                        path=module.relpath,
+                        line=node.lineno,
+                        message=(
+                            "hand-rolled temp-file publication; the rename dance "
+                            "lives in repro.runtime.atomic"
+                        ),
+                        hint=hint,
+                    )
+                )
+        return findings

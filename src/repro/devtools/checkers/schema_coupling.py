@@ -1,0 +1,100 @@
+"""Schema-hash coupling checker: surface changes require version bumps.
+
+Project-level rule ``schema-manifest``: the manifest computed from HEAD
+(:func:`repro.devtools.schema.compute_manifest`) must equal the checked-in
+``devtools/schema_manifest.json`` byte for byte.  Any drift is a finding;
+the message distinguishes the dangerous case (surface changed, governing
+version unbumped — stale cache entries would *collide*) from the mechanical
+one (bump done, manifest not regenerated — run
+``python -m repro.devtools regen-manifest``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from repro.devtools.analyzer import Checker, Finding, LintConfig
+from repro.devtools import schema
+
+
+class SchemaCouplingChecker(Checker):
+    name = "schema"
+    rules = ("schema-manifest",)
+
+    def check_project(self, root: Path, config: LintConfig) -> List[Finding]:
+        try:
+            current = schema.compute_manifest(root)
+        except (OSError, SyntaxError, schema.SchemaExtractionError) as exc:
+            return [
+                Finding(
+                    rule="schema-manifest",
+                    path=schema.MANIFEST_PATH,
+                    line=1,
+                    message=f"cannot compute schema manifest: {exc}",
+                )
+            ]
+        checked_in = schema.load_manifest(root)
+        if checked_in is None:
+            return [
+                Finding(
+                    rule="schema-manifest",
+                    path=schema.MANIFEST_PATH,
+                    line=1,
+                    message="checked-in schema manifest is missing or unreadable",
+                    hint="run `python -m repro.devtools regen-manifest`",
+                )
+            ]
+        if checked_in == current:
+            return []
+        findings: List[Finding] = []
+        changes = schema.changed_surfaces(checked_in, current)
+        for surface, governed, bumped in changes:
+            source = current.get("surfaces", {}).get(surface, {}).get(
+                "source", schema.MANIFEST_PATH
+            )
+            if bumped:
+                findings.append(
+                    Finding(
+                        rule="schema-manifest",
+                        path=source,
+                        line=1,
+                        message=(
+                            f"hash-relevant surface '{surface}' changed ({governed} "
+                            "was bumped) but the manifest was not regenerated"
+                        ),
+                        hint="run `python -m repro.devtools regen-manifest`",
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        rule="schema-manifest",
+                        path=source,
+                        line=1,
+                        message=(
+                            f"hash-relevant surface '{surface}' changed without "
+                            f"bumping {governed}; stale cache entries would collide"
+                        ),
+                        hint=(
+                            f"bump {governed} and run "
+                            "`python -m repro.devtools regen-manifest`"
+                        ),
+                    )
+                )
+        if not findings:
+            # Version constants or manifest metadata drifted with identical
+            # surfaces (e.g. a bump without regeneration, or a hand-edit).
+            findings.append(
+                Finding(
+                    rule="schema-manifest",
+                    path=schema.MANIFEST_PATH,
+                    line=1,
+                    message=(
+                        "schema manifest is stale (versions or metadata changed "
+                        "with identical surfaces)"
+                    ),
+                    hint="run `python -m repro.devtools regen-manifest`",
+                )
+            )
+        return findings

@@ -44,12 +44,12 @@ import json
 import os
 import re
 import tarfile
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Union
 
 from repro.exceptions import ReproError
+from repro.runtime.atomic import atomic_output, write_atomic_json
 from repro.runtime.jobs import Job, canonical_json
 
 #: Version of the cache envelope.  Bump on envelope layout changes; old
@@ -432,28 +432,32 @@ class ResultCache:
             "skipped_unsound": 0,
         }
         bundle_path = Path(bundle_path)
-        bundle_path.parent.mkdir(parents=True, exist_ok=True)
-        with tarfile.open(bundle_path, "w:gz") as tar:
-            for info in self.scan():
-                if info.kind == "result":
-                    if wanted is not None and info.key not in wanted:
+        # The bundle is published atomically: an interrupted export leaves the
+        # previous bundle (or nothing) in place, never a truncated tarball.
+        with atomic_output(bundle_path) as temp_path:
+            # repro-lint: disable=atomic-write -- the tar is written to
+            # atomic_output's temp path and published by its rename.
+            with tarfile.open(temp_path, "w:gz") as tar:
+                for info in self.scan():
+                    if info.kind == "result":
+                        if wanted is not None and info.key not in wanted:
+                            continue
+                    elif not include_payloads:
                         continue
-                elif not include_payloads:
-                    continue
-                if info.status != "ok":
-                    manifest["skipped_unsound"] += 1
-                    continue
-                if info.kind == "result":
-                    member = f"entries/{info.key[:2]}/{info.key}.json"
-                    manifest["entries"].append(info.key)
-                else:
-                    member = f"payloads/{info.kind}/{info.key[:2]}/{info.key}.json"
-                    manifest["payloads"].append({"kind": info.kind, "key": info.key})
-                tar.add(info.path, arcname=member)
-            manifest_bytes = json.dumps(manifest, indent=2).encode("utf-8")
-            member_info = tarfile.TarInfo("manifest.json")
-            member_info.size = len(manifest_bytes)
-            tar.addfile(member_info, io.BytesIO(manifest_bytes))
+                    if info.status != "ok":
+                        manifest["skipped_unsound"] += 1
+                        continue
+                    if info.kind == "result":
+                        member = f"entries/{info.key[:2]}/{info.key}.json"
+                        manifest["entries"].append(info.key)
+                    else:
+                        member = f"payloads/{info.kind}/{info.key[:2]}/{info.key}.json"
+                        manifest["payloads"].append({"kind": info.kind, "key": info.key})
+                    tar.add(info.path, arcname=member)
+                manifest_bytes = json.dumps(manifest, indent=2).encode("utf-8")
+                member_info = tarfile.TarInfo("manifest.json")
+                member_info.size = len(manifest_bytes)
+                tar.addfile(member_info, io.BytesIO(manifest_bytes))
         return manifest
 
     def import_bundle(self, bundle_path: Union[str, Path]) -> Dict[str, int]:
@@ -523,14 +527,4 @@ class ResultCache:
     def _write_atomic(self, path: Path, envelope: Dict) -> None:
         """Write-to-temp + rename so concurrent runners never observe a torn
         entry; os.replace is atomic within one filesystem."""
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=path.parent, suffix=".tmp", delete=False, encoding="utf-8"
-        )
-        try:
-            with handle:
-                json.dump(envelope, handle)
-            os.replace(handle.name, path)
-        except OSError:
-            Path(handle.name).unlink(missing_ok=True)
-            raise
+        write_atomic_json(path, envelope)

@@ -42,12 +42,12 @@ from __future__ import annotations
 import json
 import os
 import pickle
-import tempfile
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import ConfigurationError, ReproError
+from repro.runtime.atomic import write_atomic_bytes
 from repro.runtime.jobs import Job
 from repro.runtime.worker_env import WORKER_THREAD_CAPS, _execute_job, _worker_init
 
@@ -71,15 +71,7 @@ class JobFailedError(SpoolError):
 
 def _write_atomic_bytes(path: Path, data: bytes) -> None:
     """Publish ``data`` at ``path`` via write-to-temp + atomic rename."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    handle = tempfile.NamedTemporaryFile("wb", dir=path.parent, suffix=".tmp", delete=False)
-    try:
-        with handle:
-            handle.write(data)
-        os.replace(handle.name, path)
-    except OSError:
-        Path(handle.name).unlink(missing_ok=True)
-        raise
+    write_atomic_bytes(path, data)
 
 
 class JobSpool:

@@ -43,6 +43,7 @@ from repro.graphs.generators import (
 )
 from repro.graphs.graph import Graph
 from repro.ising.maxcut import kings_graph_reference_cut
+from repro.rng import make_rng
 from repro.runtime.jobs import DimacsGraphSpec, GeneratedGraphSpec, KingsGraphSpec
 from repro.workloads.registry import (
     ReferenceSolution,
@@ -133,7 +134,7 @@ def wmaxcut_edge_weights(
     randomization.  Integer weights also keep cut sums exact, so weighted
     accuracies never depend on floating-point summation order.
     """
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     return {
         (u, v): float(rng.integers(1, 10)) for u, v in sorted(graph.edges())
     }
