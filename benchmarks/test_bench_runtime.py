@@ -198,3 +198,143 @@ def test_bench_fleet_dispatch(tmp_path):
         f"local pool {local_s:.2f}s, spool cold {spool_cold_s:.2f}s, "
         f"spool warm {spool_warm_s:.2f}s -> {BENCH_OUT}"
     )
+
+
+def test_bench_service_front_door(tmp_path):
+    """Service section: warm front-door latency vs a cold CLI process.
+
+    The service's pitch is amortization: one long-lived runner (warm pool,
+    populated memo) answers many requests, where every ``msropm solve``
+    invocation pays interpreter + import + pool spin-up from zero.  This
+    benchmark times the three request classes against that cold-CLI baseline
+    — cache-*miss* (submitted, executed by the warm runner), cache-*hit*
+    (resubmitted hash, answered from the memo), and a coalesced burst (N
+    concurrent identical submissions, one execution) — and merges a
+    ``service`` section into ``BENCH_runtime.json``.
+    """
+    import subprocess
+    import sys
+    import threading
+
+    from repro.service.server import SolverService
+
+    rows, colors, iterations = 6, 4, 4
+
+    # --- Cold CLI baseline: fresh interpreter, fresh pool, empty cache.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(Path(__file__).resolve().parents[1] / "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    start = time.perf_counter()
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "solve",
+            "--rows", str(rows), "--colors", str(colors),
+            "--iterations", str(iterations), "--seed", str(BENCH_SEED),
+            "--cache-dir", str(tmp_path / "cli-cache"),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    cold_cli_s = time.perf_counter() - start
+    assert completed.returncode == 0, completed.stderr
+
+    # --- Warm service: one persistent runner behind the request handler.
+    def spec(seed):
+        return {
+            "kind": "solve", "rows": rows, "colors": colors,
+            "iterations": iterations, "seed": seed,
+        }
+
+    def submit(service, seed):
+        status, payload, _ = service.handle(
+            "POST", "/v1/submit",
+            {"protocol": 1, "client": "bench", "jobs": [spec(seed)]},
+        )
+        assert status == 200
+        return payload["tickets"][0]["ticket_id"]
+
+    with ExperimentRunner(workers=1, cache_dir=tmp_path / "service-cache") as runner:
+        service = SolverService(runner, tmp_path / "service-cache")
+        # Warm the runner's pool/imports on an unrelated seed first, so the
+        # miss measurement sees the steady-state front door.
+        warm_id = submit(service, BENCH_SEED + 1000)
+        assert runner.wait([runner.poll(warm_id)], timeout=300.0)
+
+        start = time.perf_counter()
+        miss_id = submit(service, BENCH_SEED)
+        assert runner.wait([runner.poll(miss_id)], timeout=300.0)
+        status, _, _ = service.handle("GET", f"/v1/tickets/{miss_id}?result=1", None)
+        warm_miss_s = time.perf_counter() - start
+        assert status == 200
+
+        start = time.perf_counter()
+        hit_id = submit(service, BENCH_SEED)
+        status, _, _ = service.handle("GET", f"/v1/tickets/{hit_id}?result=1", None)
+        warm_hit_s = time.perf_counter() - start
+        assert status == 200
+        assert hit_id == miss_id
+        assert runner.stats()["tickets_cache_served"] == 1
+
+        # Coalesced burst: concurrent identical submissions, one execution.
+        burst = 8
+        burst_seed = BENCH_SEED + 2000
+        barrier = threading.Barrier(burst)
+        ids = [None] * burst
+
+        def racer(slot):
+            barrier.wait()
+            ids[slot] = submit(service, burst_seed)
+
+        threads = [
+            threading.Thread(target=racer, args=(slot,)) for slot in range(burst)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert runner.wait([runner.poll(ids[0])], timeout=300.0)
+        burst_s = time.perf_counter() - start
+
+        stats = runner.stats()
+        assert len(set(ids)) == 1
+        assert stats["jobs_run"] == 3  # warmup + miss + one burst execution
+
+    miss_speedup = cold_cli_s / warm_miss_s if warm_miss_s > 0 else float("inf")
+    hit_speedup = cold_cli_s / warm_hit_s if warm_hit_s > 0 else float("inf")
+    section = {
+        "rows": rows,
+        "iterations": iterations,
+        "cold_cli_s": round(cold_cli_s, 4),
+        "warm_miss_s": round(warm_miss_s, 4),
+        "warm_hit_s": round(warm_hit_s, 5),
+        "miss_speedup_vs_cold_cli": round(miss_speedup, 2),
+        "hit_speedup_vs_cold_cli": round(hit_speedup, 2),
+        "coalesced_burst_requests": burst,
+        "coalesced_burst_s": round(burst_s, 4),
+        "tickets_issued": stats["tickets_issued"],
+        "tickets_coalesced": stats["tickets_coalesced"],
+        "tickets_cache_served": stats["tickets_cache_served"],
+        "burst_executions": 1,
+    }
+    try:
+        payload = json.loads(BENCH_OUT.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        payload = {"benchmark": "runtime-suite"}
+    payload["service"] = section
+    write_atomic_json(BENCH_OUT, payload, indent=2)
+    print(
+        f"\nservice front door @ {rows}x{rows}/{iterations} iters: "
+        f"cold CLI {cold_cli_s:.2f}s, warm miss {warm_miss_s:.2f}s "
+        f"({miss_speedup:.1f}x), warm hit {warm_hit_s * 1000:.1f}ms "
+        f"({hit_speedup:.0f}x), {burst}-wide burst {burst_s:.2f}s "
+        f"(coalesced {stats['tickets_coalesced']}) -> {BENCH_OUT}"
+    )
+
+    # The warm front door must beat cold CLI start-up by the contract margins.
+    assert miss_speedup >= 2.0
+    assert hit_speedup >= 10.0

@@ -56,6 +56,17 @@ bit-identical reports::
     msropm fleet status /tmp/spool
     msropm fleet stop /tmp/spool
 
+Run the solver as a long-lived service (one warm runner amortized across a
+stream of clients; tickets keyed by job content hash are idempotent across
+resubmissions *and* server restarts)::
+
+    msropm serve --cache-dir ~/.cache/msropm --workers 4 &
+    msropm client submit --rows 7 --iterations 10 --seed 1 --wait
+    msropm client submit --scenario-families er --wait
+    msropm client poll <ticket>
+    msropm client fetch <ticket>
+    msropm client stats
+
 Inspect and maintain the artifact store (the content-addressed result cache)::
 
     msropm cache stats
@@ -143,7 +154,12 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
-    """Build the :class:`ExperimentRunner` described by the runtime flags."""
+    """Build the :class:`ExperimentRunner` described by the runtime flags.
+
+    Every command holding a runner uses it as a context manager, so the warm
+    worker pool (and the service's drain thread) is released on success *and*
+    on error exits alike — no ``ProcessPoolExecutor`` outlives a command.
+    """
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     executor = getattr(args, "executor", "local")
     executor_options = {}
@@ -158,6 +174,7 @@ def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
         executor=executor,
         spool_dir=getattr(args, "spool_dir", None),
         executor_options=executor_options,
+        max_pending=getattr(args, "max_pending", None),
     )
 
 
@@ -442,6 +459,110 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_dir(cache_import)
     cache_import.add_argument("bundle", help="path of the bundle file to read")
+
+    from repro.service.ratelimit import DEFAULT_BURST, DEFAULT_RATE
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the solver service: a long-lived JSON-over-HTTP front door "
+        "on one warm runner (idempotent hash-keyed tickets, request "
+        "coalescing, rate limits and queue backpressure)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (0 = pick a free port; the bound port is published in "
+        "the cache dir's service/endpoint.json)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=DEFAULT_RATE,
+        help=f"per-client sustained rate limit in jobs/second (default {DEFAULT_RATE:g})",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=DEFAULT_BURST,
+        help=f"per-client burst capacity in jobs (default {DEFAULT_BURST:g})",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="in-flight submitted jobs before the submit queue answers "
+        "429 + Retry-After (default 256)",
+    )
+    add_runtime_arguments(serve)
+
+    client = subparsers.add_parser(
+        "client", help="talk to a running solver service ('msropm serve')"
+    )
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+
+    def _add_client_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--endpoint",
+            default=None,
+            help="service URL, e.g. http://127.0.0.1:8765 (default: discovered "
+            "from the cache dir's service/endpoint.json)",
+        )
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help="cache directory whose endpoint record locates the service "
+            "(default: $MSROPM_CACHE_DIR or ~/.cache/msropm)",
+        )
+        sub.add_argument(
+            "--client-id", default="cli", help="rate-limit identity (default: cli)"
+        )
+
+    client_submit = client_sub.add_parser(
+        "submit", help="submit a solve or scenarios batch; prints one ticket per job"
+    )
+    _add_client_common(client_submit)
+    client_submit.add_argument(
+        "--scenario-families",
+        default=None,
+        help="submit the MSROPM scenario jobs of these comma-separated workload "
+        "families instead of a single solve (empty string = the whole zoo)",
+    )
+    client_submit.add_argument(
+        "--rows", type=int, default=7, help="board side length of a solve submission"
+    )
+    client_submit.add_argument(
+        "--graph", default=None, help="server-side DIMACS .col path instead of a board"
+    )
+    client_submit.add_argument(
+        "--colors", type=int, default=4, help="number of colors (solve submission)"
+    )
+    client_submit.add_argument("--iterations", type=int, default=None, help="iteration count")
+    client_submit.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    client_submit.add_argument("--engine", **engine_kwargs)
+    client_submit.add_argument("--precision", **precision_kwargs)
+    client_submit.add_argument(
+        "--wait", action="store_true", help="block until every ticket is terminal"
+    )
+    client_submit.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait timeout in seconds"
+    )
+
+    client_poll = client_sub.add_parser("poll", help="show one ticket's state")
+    _add_client_common(client_poll)
+    client_poll.add_argument("ticket", help="ticket id (the job content hash)")
+
+    client_fetch = client_sub.add_parser(
+        "fetch", help="print a finished ticket's result payload as JSON"
+    )
+    _add_client_common(client_fetch)
+    client_fetch.add_argument("ticket", help="ticket id (the job content hash)")
+
+    client_stats = client_sub.add_parser(
+        "stats", help="print the service's runner/admission counters as JSON"
+    )
+    _add_client_common(client_stats)
 
     dev = subparsers.add_parser(
         "dev", help="developer tooling: the repro-lint static analyzer"
@@ -881,6 +1002,87 @@ def _run_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_server
+
+    if args.no_cache:
+        print(
+            "msropm serve needs the durable result cache (tickets are keyed by "
+            "job hash and served from it across restarts); drop --no-cache",
+            file=sys.stderr,
+        )
+        return 2
+    cache_root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    with runner_from_args(args) as runner:
+        return run_server(
+            runner,
+            cache_root,
+            host=args.host,
+            port=args.port,
+            rate=args.rate,
+            burst=args.burst,
+            log=print,
+        )
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, discover_endpoint
+
+    endpoint = args.endpoint or discover_endpoint(args.cache_dir or default_cache_dir())
+    client = ServiceClient(endpoint, client_id=args.client_id)
+    if args.client_command == "submit":
+        spec: dict = {}
+        if args.scenario_families is not None:
+            spec["kind"] = "scenarios"
+            families = [
+                name.strip() for name in args.scenario_families.split(",") if name.strip()
+            ]
+            if families:
+                spec["families"] = families
+        else:
+            spec["kind"] = "solve"
+            spec["rows"] = args.rows
+            spec["colors"] = args.colors
+            if args.graph is not None:
+                spec["graph"] = args.graph
+        spec["engine"] = args.engine
+        spec["precision"] = args.precision
+        if args.iterations is not None:
+            spec["iterations"] = args.iterations
+        if args.seed is not None:
+            spec["seed"] = args.seed
+        tickets = client.submit([spec])
+        for ticket in tickets:
+            print(f"ticket {ticket['ticket_id']} {ticket['state']} ({ticket['source']})")
+        if not args.wait:
+            return 0
+        ticket_ids = list(dict.fromkeys(ticket["ticket_id"] for ticket in tickets))
+        states = client.wait(ticket_ids, timeout=args.timeout)
+        done = sum(1 for payload in states.values() if payload.get("state") == "done")
+        failed = sum(1 for payload in states.values() if payload.get("state") == "failed")
+        for ticket_id in ticket_ids:
+            payload = states[ticket_id]
+            line = f"final {ticket_id} {payload.get('state')} ({payload.get('source')})"
+            if payload.get("error"):
+                line += f": {payload['error']}"
+            print(line)
+        print(f"client submit: {len(ticket_ids)} ticket(s), {done} done, {failed} failed")
+        return 1 if failed else 0
+    if args.client_command == "poll":
+        print(json.dumps(client.poll(args.ticket), indent=2, sort_keys=True))
+        return 0
+    if args.client_command == "fetch":
+        payload = client.fetch(args.ticket)
+        print(json.dumps(payload["result"], indent=2, sort_keys=True))
+        return 0
+    if args.client_command == "stats":
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return 0
+    raise AssertionError(f"unhandled client command {args.client_command!r}")
+
+
 def _run_dev(args: argparse.Namespace) -> int:
     # Imported lazily: the analyzer is developer tooling, and solve-path
     # invocations should not pay for (or depend on) it.
@@ -970,6 +1172,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_fleet(args)
     if args.command == "cache":
         return _run_cache(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "client":
+        return _run_client(args)
     if args.command == "dev":
         return _run_dev(args)
     parser.error(f"unknown command {args.command!r}")

@@ -181,6 +181,32 @@ class ResultCache:
         self.hits += 1
         return result
 
+    def load_envelope(self, job_hash: str) -> Optional[Dict]:
+        """Return the raw, integrity-verified envelope stored under a hash.
+
+        This is the fetch path for callers that hold only a content hash and
+        no :class:`~repro.runtime.jobs.Job` object — a restarted service
+        answering a fetch for a ticket issued by a previous process.  The
+        envelope's ``result`` member is the job's persisted payload form,
+        exactly what the job stored.  Hit/miss counters are *not* touched:
+        this is an artifact read, not an execution-path cache probe.
+        """
+        if not _HASH_RE.match(job_hash):
+            return None
+        path = self.path_for(job_hash)
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("cache_schema") != CACHE_SCHEMA_VERSION
+                or envelope.get("job_hash") != job_hash
+                or envelope.get("integrity") != integrity_hash(envelope.get("result"))
+            ):
+                return None
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return envelope
+
     def store(self, job: Job, result: Any) -> None:
         """Persist a decoded ``result`` for ``job`` (atomic write, last writer
         wins).  The job serializes its own payload via ``job.encode``."""

@@ -29,6 +29,7 @@ Worker-environment utilities (thread caps, pool initializer) live in
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.runtime.executors import ExecutorBackend, LocalPoolExecutorBackend
@@ -72,6 +73,10 @@ class JobScheduler:
         if backend is None:
             backend = LocalPoolExecutorBackend(workers=workers, thread_caps=thread_caps)
         self.backend = backend
+        # Serializes cross-thread batches: the runner's blocking run_jobs path
+        # and its background drain thread may both dispatch; backends are not
+        # required to be re-entrant, so one batch owns the backend at a time.
+        self._run_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -126,5 +131,6 @@ class JobScheduler:
         jobs = list(jobs)
         if not jobs:
             return []
-        payloads = self.backend.run_payloads(jobs)
+        with self._run_lock:
+            payloads = self.backend.run_payloads(jobs)
         return [job.decode(payload) for job, payload in zip(jobs, payloads)]

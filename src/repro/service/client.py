@@ -1,0 +1,191 @@
+"""Stdlib client of the solver service (what ``msropm client`` wraps).
+
+Pure :mod:`http.client` — usable from any Python process with no extra
+dependencies.  The client speaks the protocol of
+:mod:`repro.service.server`: JSON bodies, one request per connection, and
+HTTP 429 + ``Retry-After`` as the backpressure signal, which
+:meth:`ServiceClient.submit` honours by sleeping and retrying instead of
+failing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ReproError
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.state import ServiceState
+
+#: Default seconds between ticket polls while waiting.
+DEFAULT_POLL_INTERVAL = 0.1
+
+
+class ServiceError(ReproError):
+    """A request the service answered with an error (carries the status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"service answered {status}: {message}")
+        self.status = status
+
+
+def discover_endpoint(cache_dir: Union[str, Path]) -> str:
+    """The URL of the service publishing its endpoint under ``cache_dir``."""
+    record = ServiceState(cache_dir).read_endpoint()
+    if record is None:
+        raise ReproError(
+            f"no service endpoint record under {cache_dir!r} — is 'msropm serve' running?"
+        )
+    return f"http://{record['host']}:{record['port']}"
+
+
+class ServiceClient:
+    """A synchronous client bound to one service endpoint.
+
+    Parameters
+    ----------
+    endpoint:
+        Base URL, e.g. ``http://127.0.0.1:8765``.
+    client_id:
+        The rate-limit identity sent with every submission.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(
+        self, endpoint: str, client_id: str = "cli", timeout: float = 30.0
+    ) -> None:
+        parsed = urllib.parse.urlsplit(endpoint)
+        if parsed.scheme not in ("http", "") or not (parsed.netloc or parsed.path):
+            raise ReproError(f"unsupported service endpoint {endpoint!r}")
+        netloc = parsed.netloc or parsed.path
+        host, _, port_text = netloc.partition(":")
+        self.host = host
+        self.port = int(port_text) if port_text else 80
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """One round trip: returns (status, decoded payload, headers)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            encoded = None if body is None else json.dumps(body).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if encoded else {}
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError as exc:
+                raise ReproError(
+                    f"service returned undecodable body for {method} {path}: {exc}"
+                ) from exc
+            if not isinstance(payload, dict):
+                payload = {"value": payload}
+            return response.status, payload, dict(response.getheaders())
+        finally:
+            connection.close()
+
+    def _checked(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        status, payload, _ = self.request(method, path, body)
+        if status != 200:
+            raise ServiceError(status, str(payload.get("error", payload)))
+        return payload
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._checked("GET", "/v1/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._checked("GET", "/v1/stats")
+
+    def submit(
+        self,
+        jobs: Sequence[Dict[str, Any]],
+        max_retries: int = 20,
+        max_backoff: float = 5.0,
+    ) -> List[Dict[str, Any]]:
+        """Submit job specs, honouring 429 backpressure by waiting it out.
+
+        Retries are safe by construction: resubmitted hashes coalesce onto
+        (or are served from) their existing tickets, never recomputed.
+        """
+        body = {
+            "protocol": PROTOCOL_VERSION,
+            "client": self.client_id,
+            "jobs": list(jobs),
+        }
+        attempts = 0
+        while True:
+            status, payload, headers = self.request("POST", "/v1/submit", body)
+            if status == 200:
+                tickets = payload.get("tickets")
+                if not isinstance(tickets, list):
+                    raise ReproError("submit response is missing 'tickets'")
+                return tickets
+            if status != 429 or attempts >= max_retries:
+                raise ServiceError(status, str(payload.get("error", payload)))
+            attempts += 1
+            retry_after = headers.get("Retry-After", "1")
+            try:
+                delay = min(max_backoff, max(0.05, float(retry_after)))
+            except ValueError:
+                delay = 1.0
+            time.sleep(delay)
+
+    def poll(self, ticket_id: str, include_result: bool = False) -> Dict[str, Any]:
+        """One ticket's state (optionally with the result payload)."""
+        suffix = "?result=1" if include_result else ""
+        return self._checked("GET", f"/v1/tickets/{ticket_id}{suffix}")
+
+    def fetch(self, ticket_id: str) -> Dict[str, Any]:
+        """A finished ticket's result payload (raises if not done yet)."""
+        payload = self.poll(ticket_id, include_result=True)
+        if payload.get("state") != "done":
+            raise ServiceError(
+                409, f"ticket {ticket_id} is {payload.get('state')!r}, not done"
+            )
+        return payload
+
+    def wait(
+        self,
+        ticket_ids: Sequence[str],
+        timeout: float = 300.0,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ) -> Dict[str, Dict[str, Any]]:
+        """Poll until every ticket is terminal; returns id → last payload."""
+        deadline = time.monotonic() + timeout
+        states: Dict[str, Dict[str, Any]] = {}
+        remaining = list(dict.fromkeys(ticket_ids))
+        while remaining:
+            still_waiting: List[str] = []
+            for ticket_id in remaining:
+                payload = self.poll(ticket_id)
+                states[ticket_id] = payload
+                if payload.get("state") not in ("done", "failed"):
+                    still_waiting.append(ticket_id)
+            remaining = still_waiting
+            if remaining:
+                if time.monotonic() >= deadline:
+                    raise ReproError(
+                        f"timed out waiting for {len(remaining)} ticket(s) "
+                        f"(first: {remaining[0]})"
+                    )
+                time.sleep(poll_interval)
+        return states
+
+    def campaigns(self, run_id: Optional[str] = None) -> Dict[str, Any]:
+        """Campaign runs (or one run's stage states) from the server's ledger."""
+        path = "/v1/campaigns" if run_id is None else f"/v1/campaigns/{run_id}"
+        return self._checked("GET", path)

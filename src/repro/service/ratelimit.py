@@ -1,0 +1,103 @@
+"""Per-client token buckets: the service's admission throttle.
+
+Each client id owns one bucket of ``burst`` tokens refilled at ``rate``
+tokens/second; a submission spends one token per job.  When a spend cannot be
+covered, :meth:`RateLimiter.try_acquire` reports *how long until it could be*,
+which the server forwards as ``Retry-After`` — clients back off exactly as
+long as needed instead of hammering.
+
+The clock is injectable (default :func:`time.monotonic` — never wall-clock:
+buckets measure *elapsed* time and must not jump with the system clock) so
+tests drive the limiter deterministically with a fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+#: Default sustained rate (tokens = jobs per second, per client).
+DEFAULT_RATE = 50.0
+
+#: Default burst capacity (jobs a quiet client may submit at once).
+DEFAULT_BURST = 200.0
+
+
+class _Bucket:
+    """One client's token bucket (lazy refill on access)."""
+
+    __slots__ = ("tokens", "updated")
+
+    def __init__(self, tokens: float, updated: float) -> None:
+        self.tokens = tokens
+        self.updated = updated
+
+
+class RateLimiter:
+    """Token buckets keyed by client id.
+
+    Parameters
+    ----------
+    rate:
+        Sustained refill in tokens/second; ``0`` disables refill (pure burst).
+    burst:
+        Bucket capacity — the largest spend a fully-rested client can make.
+    clock:
+        Monotonic time source (seconds); injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate: float = DEFAULT_RATE,
+        burst: float = DEFAULT_BURST,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self._buckets: Dict[str, _Bucket] = {}
+        self.allowed = 0
+        self.rejected = 0
+
+    def _refill(self, client: str) -> _Bucket:
+        now = self.clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = _Bucket(tokens=self.burst, updated=now)
+            self._buckets[client] = bucket
+            return bucket
+        elapsed = max(0.0, now - bucket.updated)
+        bucket.tokens = min(self.burst, bucket.tokens + elapsed * self.rate)
+        bucket.updated = now
+        return bucket
+
+    def try_acquire(self, client: str, tokens: float = 1.0) -> Tuple[bool, float]:
+        """Spend ``tokens`` from ``client``'s bucket if covered.
+
+        Returns ``(True, 0.0)`` on success, else ``(False, retry_after)``
+        where ``retry_after`` is the seconds until the deficit refills.  A
+        spend larger than the bucket can *ever* hold is reported with the
+        time to refill a full bucket — the closest honest answer.
+        """
+        bucket = self._refill(client)
+        if bucket.tokens >= tokens:
+            bucket.tokens -= tokens
+            self.allowed += 1
+            return True, 0.0
+        self.rejected += 1
+        deficit = min(tokens, self.burst) - bucket.tokens
+        if self.rate <= 0:
+            return False, float("inf")
+        return False, deficit / self.rate
+
+    def stats(self) -> Dict[str, int]:
+        """Admission counters: requests allowed / rejected, clients seen."""
+        return {
+            "allowed": self.allowed,
+            "rejected": self.rejected,
+            "clients": len(self._buckets),
+        }

@@ -1,0 +1,140 @@
+"""Durable service state: the endpoint record and the ticket-state index.
+
+Results themselves never live here — the content-addressed
+:class:`~repro.runtime.cache.ResultCache` is the durable result store, and a
+ticket id *is* a job hash, so a restarted server answers fetches straight
+from the cache.  What this module persists is the thin layer around that:
+
+``<cache>/service/endpoint.json``
+    Where the server is listening (host, port, pid, protocol version), so
+    clients on the same machine discover the front door from the cache
+    directory alone (``msropm client ... --cache-dir``).
+
+``<cache>/service/tickets.json``
+    A snapshot of every ticket the server has issued — id, state, source,
+    submitting client — refreshed on each state-changing request.  After a
+    crash this is the audit trail of what was in flight; the results of
+    ``done`` tickets are (re)served from the cache, and ``pending``/
+    ``running`` entries simply resubmit under the same hash.
+
+Both files are published exclusively through :mod:`repro.runtime.atomic`
+(write-to-temp + rename): a reader — or a server killed mid-write — never
+observes a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.runtime.atomic import write_atomic_json
+from repro.runtime.runner import Ticket
+
+#: Version of the two state-file layouts.
+SERVICE_STATE_VERSION = 1
+
+#: Subdirectory of the cache root holding service state.
+SERVICE_DIR = "service"
+
+
+class ServiceState:
+    """Atomic persistence of the service's endpoint and ticket index."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root) / SERVICE_DIR
+        self._ticket_index: Dict[str, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def endpoint_path(self) -> Path:
+        return self.root / "endpoint.json"
+
+    @property
+    def tickets_path(self) -> Path:
+        return self.root / "tickets.json"
+
+    # ------------------------------------------------------------------
+    def write_endpoint(self, host: str, port: int, protocol: int) -> None:
+        """Publish where the server listens (pid included for liveness checks)."""
+        write_atomic_json(
+            self.endpoint_path,
+            {
+                "service_state": SERVICE_STATE_VERSION,
+                "protocol": protocol,
+                "host": host,
+                "port": port,
+                "pid": os.getpid(),
+            },
+            indent=2,
+        )
+
+    def read_endpoint(self) -> Optional[Dict[str, Any]]:
+        """The published endpoint record, or ``None`` if absent/unreadable."""
+        try:
+            payload = json.loads(self.endpoint_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("service_state") != SERVICE_STATE_VERSION
+        ):
+            return None
+        return payload
+
+    def clear_endpoint(self) -> None:
+        """Remove the endpoint record (graceful shutdown)."""
+        self.endpoint_path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def load_tickets(self) -> Dict[str, Dict[str, Any]]:
+        """The persisted ticket index (empty on first boot or after damage)."""
+        try:
+            payload = json.loads(self.tickets_path.read_text(encoding="utf-8"))
+            if (
+                not isinstance(payload, dict)
+                or payload.get("service_state") != SERVICE_STATE_VERSION
+                or not isinstance(payload.get("tickets"), dict)
+            ):
+                raise ValueError("unrecognized ticket index layout")
+        except (OSError, ValueError):
+            self._ticket_index = {}
+            return {}
+        self._ticket_index = dict(payload["tickets"])
+        return dict(self._ticket_index)
+
+    def record_tickets(self, tickets: Sequence[Ticket], client: str) -> None:
+        """Fold ticket states into the index and republish it atomically.
+
+        ``client`` labels *new* entries; an existing entry keeps the client
+        that originally submitted it (polls observe, they don't own).
+        """
+        changed = False
+        for ticket in tickets:
+            previous = self._ticket_index.get(ticket.ticket_id)
+            entry = {
+                "state": ticket.state,
+                "source": ticket.source,
+                "client": previous["client"] if previous else client,
+            }
+            if ticket.error is not None:
+                entry["error"] = ticket.error
+            if previous != entry:
+                self._ticket_index[ticket.ticket_id] = entry
+                changed = True
+        if changed:
+            self._flush()
+
+    def _flush(self) -> None:
+        write_atomic_json(
+            self.tickets_path,
+            {
+                "service_state": SERVICE_STATE_VERSION,
+                "tickets": {
+                    ticket_id: self._ticket_index[ticket_id]
+                    for ticket_id in sorted(self._ticket_index)
+                },
+            },
+            indent=2,
+        )

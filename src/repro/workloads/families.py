@@ -59,8 +59,11 @@ DATA_DIR = Path(__file__).resolve().parent / "data"
 BUNDLED_DIMACS_CHROMATIC = {
     "myciel3": 4,
     "myciel4": 5,
+    "myciel5": 6,
     "queen5_5": 5,
     "queen6_6": 7,
+    "queen7_7": 7,
+    "queen8_8": 9,
 }
 
 #: Largest random instance the exact backtracking reference is attempted on.
@@ -266,7 +269,11 @@ register_family(
         description="bundled DIMACS .col benchmark instances (Mycielski graphs)",
         kind="coloring",
         seeded=False,
-        default_grid=({"instance": "myciel3"}, {"instance": "myciel4"}),
+        default_grid=(
+            {"instance": "myciel3"},
+            {"instance": "myciel4"},
+            {"instance": "myciel5"},
+        ),
         spec_factory=_dimacs_spec,
         reference_provider=_dimacs_reference,
     )
@@ -278,7 +285,12 @@ register_family(
         description="bundled DIMACS queens graphs (row/column/diagonal cliques), 8 colors",
         kind="coloring",
         seeded=False,
-        default_grid=({"instance": "queen5_5"}, {"instance": "queen6_6"}),
+        default_grid=(
+            {"instance": "queen5_5"},
+            {"instance": "queen6_6"},
+            {"instance": "queen7_7"},
+            {"instance": "queen8_8"},
+        ),
         spec_factory=_dimacs_spec,
         reference_provider=_dimacs_reference,
         num_colors=8,

@@ -623,9 +623,9 @@ class TestScenariosCampaign:
                 ledger=RunLedger(ledger_root(tmp_path / "cache")),
             )
         matrix = result.outputs["report"]
-        assert len(matrix.rows) == 2  # myciel3 + myciel4
+        assert len(matrix.rows) == 3  # myciel3 + myciel4 + myciel5
         reports = {report.name: report for report in result.reports}
-        assert reports["solves"].jobs_run == reports["solves"].num_jobs == 2
-        assert reports["baselines"].num_jobs == 2  # one per (instance, baseline)
+        assert reports["solves"].jobs_run == reports["solves"].num_jobs == 3
+        assert reports["baselines"].num_jobs == 3  # one per (instance, baseline)
         # The report stage re-assembles the matrix purely from the memo.
         assert reports["report"].jobs_run == 0

@@ -164,7 +164,7 @@ class TestWorkloadsCommands:
         assert exit_code == 0
         assert "Scenario matrix" in captured
         assert "Per-family MSROPM accuracy" in captured
-        assert "2 instance(s)" in captured
+        assert "3 instance(s)" in captured
 
     def test_scenarios_workers_match_serial_output(self, capsys):
         """Acceptance: scenarios --workers 2 prints byte-identical results."""
@@ -183,6 +183,45 @@ class TestWorkloadsCommands:
         cold_out = capsys.readouterr().out
         main(base)
         warm_out = capsys.readouterr().out
-        assert "2 job(s) solved, 0 cache hit(s)" in cold_out
-        assert "0 job(s) solved, 2 cache hit(s)" in warm_out
+        assert "3 job(s) solved, 0 cache hit(s)" in cold_out
+        assert "0 job(s) solved, 3 cache hit(s)" in warm_out
         assert cold_out.split("scenarios:")[0] == warm_out.split("scenarios:")[0]
+
+
+class TestRunnerLifecycle:
+    """No ProcessPoolExecutor outlives a CLI command (the warm-pool leak audit).
+
+    Every runner-holding command wraps the runner in a context manager, so the
+    pool's worker processes are joined before ``main`` returns — on clean
+    exits and on mid-command errors alike.
+    """
+
+    def test_no_worker_processes_outlive_solve(self, capsys):
+        import multiprocessing
+
+        exit_code = main(
+            ["solve", "--rows", "3", "--iterations", "2", "--seed", "1",
+             "--workers", "2", "--no-cache"]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        assert multiprocessing.active_children() == []
+
+    def test_no_worker_processes_outlive_error_exit(self, capsys, monkeypatch):
+        import multiprocessing
+
+        from repro.runtime.runner import ExperimentRunner
+
+        # Fail *inside* the command's `with runner` block, after the pool has
+        # warmed up: the context manager must still join the workers.
+        def boom(self):
+            raise RuntimeError("simulated failure after solve")
+
+        monkeypatch.setattr(ExperimentRunner, "stats", boom)
+        with pytest.raises(RuntimeError, match="simulated failure"):
+            main(
+                ["solve", "--rows", "3", "--iterations", "2", "--seed", "1",
+                 "--workers", "2", "--no-cache"]
+            )
+        capsys.readouterr()
+        assert multiprocessing.active_children() == []

@@ -268,3 +268,34 @@ class TestScenarioMatrix:
         assert warm.runner_stats["jobs_run"] == 0
         assert warm.runner_stats["cache_hits"] == cold.runner_stats["cache_stores"]
         assert warm.render() == cold.render()
+
+
+class TestBundledDimacsInstances:
+    """The PR-9 additions to the DIMACS shelf: sizes and reference answers."""
+
+    EXPECTED = {
+        # instance: (family, nodes, edges, family colors, colorable)
+        "myciel5": ("dimacs", 47, 236, 4, False),   # chromatic number 6
+        "queen7_7": ("queens", 49, 476, 8, True),   # chromatic number 7
+        "queen8_8": ("queens", 64, 728, 8, False),  # chromatic number 9
+    }
+
+    def test_new_instances_expand_with_known_references(self):
+        from repro.workloads import default_workload
+
+        for name, (family, nodes, edges, colors, colorable) in sorted(
+            self.EXPECTED.items()
+        ):
+            instances = {
+                instance.label: instance
+                for instance in default_workload(family, base_seed=1).expand()
+            }
+            assert name in instances, f"{name} missing from family {family}"
+            instance = instances[name]
+            graph = instance.build()
+            assert graph.num_nodes == nodes
+            assert graph.num_edges == edges
+            assert instance.num_colors == colors
+            reference = instance.reference(graph)
+            assert reference.provider == "known"
+            assert reference.colorable is colorable
