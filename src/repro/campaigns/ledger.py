@@ -31,8 +31,29 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.exceptions import ConfigurationError, ReproError
 
-#: Version of the ledger event stream layout.
-LEDGER_SCHEMA_VERSION = 1
+#: Version of the ledger event stream layout.  v2 added per-job progress
+#: granularity: ``stage_planned`` (job counts ahead of execution) and
+#: incremental ``jobs_progress`` batches between ``stage_started`` and the
+#: stage's final ``jobs_finished``.  v1 journals replay unchanged — the new
+#: kinds are simply absent.
+LEDGER_SCHEMA_VERSION = 2
+
+#: Every event kind the ledger commits, with the complete set of fields each
+#: may carry (a pure literal: the schema manifest extracts it by AST, and
+#: ``append`` validates against it so a typo'd event dies at the writer, not
+#: in some future replay).  ``ts`` is stamped by ``append`` itself.
+LEDGER_EVENT_SHAPES = {
+    "campaign_started": ("campaign", "event", "ledger_schema", "params", "runtime", "ts"),
+    "stage_started": ("event", "stage", "ts"),
+    "stage_resumed": ("event", "stage", "ts"),
+    "stage_planned": ("event", "num_jobs", "stage", "ts"),
+    "jobs_progress": ("event", "job_hashes", "stage", "ts"),
+    "jobs_finished": ("event", "job_hashes", "stage", "ts"),
+    "stage_passed": ("event", "stage", "ts"),
+    "stage_failed": ("error", "event", "stage", "ts"),
+    "stage_blocked": ("cause", "event", "stage", "ts"),
+    "campaign_finished": ("event", "ts"),
+}
 
 #: Subdirectory of the runtime cache dir holding campaign ledgers.
 LEDGER_DIR_NAME = "campaigns"
@@ -56,6 +77,8 @@ class LedgerState:
     stage_states: Dict[str, str] = field(default_factory=dict)
     #: Stage name -> content hashes of jobs recorded finished.
     finished_jobs: Dict[str, List[str]] = field(default_factory=dict)
+    #: Stage name -> job count recorded by ``stage_planned`` (v2 journals).
+    planned_jobs: Dict[str, int] = field(default_factory=dict)
     finished: bool = False
     created_at: float = 0.0
     events: List[Dict[str, Any]] = field(default_factory=list)
@@ -110,6 +133,27 @@ class RunLedger:
         except OSError:
             return
 
+    @staticmethod
+    def _validate_event(record: Dict[str, Any]) -> None:
+        """Reject events of unknown kind or carrying undeclared fields.
+
+        Write-time validation is what keeps :data:`LEDGER_EVENT_SHAPES`
+        honest: a new event kind (or field) cannot sneak into journals
+        without being declared here — and declaring it trips the
+        ``schema-manifest`` lint until :data:`LEDGER_SCHEMA_VERSION` is
+        bumped alongside it.
+        """
+        kind = record.get("event")
+        shape = LEDGER_EVENT_SHAPES.get(kind) if isinstance(kind, str) else None
+        if shape is None:
+            raise ConfigurationError(f"unknown ledger event kind {kind!r}")
+        unknown = sorted(set(record) - set(shape))
+        if unknown:
+            raise ConfigurationError(
+                f"ledger event {kind!r} carries undeclared field(s) "
+                f"{', '.join(unknown)}; declared: {', '.join(shape)}"
+            )
+
     def append(self, run_id: str, event: Dict[str, Any]) -> None:
         """Append one event line (single atomic write + flush + fsync)."""
         path = self.path(run_id)
@@ -119,6 +163,7 @@ class RunLedger:
         # repro-lint: disable=determinism-wallclock -- event timestamps are
         # observability metadata; nothing hashes or replays against them.
         record.setdefault("ts", time.time())
+        self._validate_event(record)
         line = json.dumps(record, sort_keys=True) + "\n"
         # One write() on an O_APPEND descriptor: concurrent readers see either
         # nothing or the whole line; a crash can only tear the final line,
@@ -195,12 +240,22 @@ class RunLedger:
                 f"ledger of run {run_id!r} does not begin with campaign_started"
             )
         head = events[0]
+        created_at = head.get("ts")
+        if not isinstance(created_at, (int, float)):
+            # A head event without ``ts`` (hand-built or pre-stamping journal)
+            # used to default to 0.0, sorting the run *last* in ``list_runs``
+            # despite possibly being the newest.  The journal file's mtime is
+            # the honest fallback ordering signal.
+            try:
+                created_at = os.path.getmtime(self.path(run_id))
+            except OSError:
+                created_at = 0.0
         state = LedgerState(
             run_id=run_id,
             campaign=str(head.get("campaign", "")),
             params=dict(head.get("params", {})),
             runtime=dict(head.get("runtime", {})),
-            created_at=float(head.get("ts", 0.0)),
+            created_at=float(created_at),
             events=events,
         )
         for event in events[1:]:
@@ -214,9 +269,15 @@ class RunLedger:
                 state.stage_states[stage] = "failed"
             elif kind == "stage_blocked":
                 state.stage_states[stage] = "blocked"
-            elif kind == "jobs_finished":
+            elif kind == "stage_planned":
+                num_jobs = event.get("num_jobs")
+                if isinstance(num_jobs, int):
+                    state.planned_jobs[stage] = num_jobs
+            elif kind == "jobs_finished" or kind == "jobs_progress":
                 # Deduplicate: a resumed stage records its (identical) batch
-                # again, and double-counting would misreport "Jobs recorded".
+                # again, and the final ``jobs_finished`` repeats hashes the
+                # incremental ``jobs_progress`` events already announced —
+                # double-counting would misreport "Jobs recorded".
                 recorded = state.finished_jobs.setdefault(stage, [])
                 seen = set(recorded)
                 for value in event.get("job_hashes", []):
@@ -245,19 +306,30 @@ class RunLedger:
         return referenced
 
     # ------------------------------------------------------------------
+    def scan_runs(self) -> "tuple[List[LedgerState], List[Dict[str, str]]]":
+        """Replay every journal under the root, separating good from corrupt.
+
+        Returns ``(states, corrupt)``: replayable runs newest first, plus one
+        ``{"run_id", "error"}`` entry per journal that failed to replay —
+        ``msropm campaign list`` flags those rows instead of silently hiding
+        runs whose journals rotted.
+        """
+        if not self.root.is_dir():
+            return [], []
+        states: List[LedgerState] = []
+        corrupt: List[Dict[str, str]] = []
+        for path in sorted(self.root.glob("*.jsonl")):
+            try:
+                states.append(self.replay(path.stem))
+            except (ReproError, ConfigurationError) as exc:
+                corrupt.append({"run_id": path.stem, "error": str(exc)})
+        states.sort(key=lambda state: state.created_at, reverse=True)
+        return states, corrupt
+
     def list_runs(self) -> List[LedgerState]:
         """Replay every journal under the root, newest first.
 
         Unreadable journals are skipped (another process may be mid-create);
-        corrupt ones surface as errors when actually resumed.
+        :meth:`scan_runs` reports them when callers want the damage listed.
         """
-        if not self.root.is_dir():
-            return []
-        states: List[LedgerState] = []
-        for path in sorted(self.root.glob("*.jsonl")):
-            try:
-                states.append(self.replay(path.stem))
-            except (ReproError, ConfigurationError):
-                continue
-        states.sort(key=lambda state: state.created_at, reverse=True)
-        return states
+        return self.scan_runs()[0]

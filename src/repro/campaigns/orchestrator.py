@@ -37,6 +37,10 @@ from repro.exceptions import ReproError
 from repro.campaigns.ledger import LedgerState, RunLedger
 from repro.campaigns.spec import CampaignContext, CampaignSpec, CampaignStage
 from repro.campaigns.stage_machine import StageMachine, StageState
+from repro.obs.clock import wall_time
+from repro.obs.metrics import get_metrics
+from repro.obs.sinks import SinkRouter
+from repro.runtime.jobs import Job
 from repro.runtime.runner import ExperimentRunner
 
 #: Test/CI hook: when set to a stage name, the orchestrator hard-exits the
@@ -47,6 +51,12 @@ KILL_AFTER_ENV = "MSROPM_CAMPAIGN_KILL_AFTER"
 
 #: Exit code of the simulated kill (distinct from ordinary failures).
 KILL_EXIT_CODE = 86
+
+#: How many completed jobs a stage accumulates before committing an
+#: incremental ``jobs_progress`` ledger event.  Each commit is a write +
+#: fsync; chunking keeps watch-granularity progress from turning a large
+#: stage into an fsync storm.
+PROGRESS_CHUNK = 8
 
 
 class CampaignError(ReproError):
@@ -114,6 +124,7 @@ def run_campaign(
     resume: bool = False,
     log: Callable[[str], None] = _default_log,
     replayed_state: Optional[LedgerState] = None,
+    sinks: Optional[SinkRouter] = None,
 ) -> CampaignRun:
     """Execute (or resume) one campaign run.
 
@@ -137,6 +148,10 @@ def run_campaign(
     replayed_state:
         An already-replayed :class:`LedgerState` for ``run_id`` (resume path
         only) — saves :func:`resume_campaign` a second journal parse.
+    sinks:
+        Optional :class:`~repro.obs.sinks.SinkRouter`; every ledger event the
+        run records is also published through it (best-effort — sink failures
+        are counted, never raised).
     """
     runner = runner or ExperimentRunner()
     machine = StageMachine(spec.prerequisites())
@@ -179,6 +194,16 @@ def run_campaign(
             )
         elif run_id is None:
             run_id = RunLedger.new_run_id(spec.name)
+        if sinks is not None:
+            sinks.emit(
+                {
+                    "event": "campaign_started",
+                    "campaign": spec.name,
+                    "params": dict(params),
+                    "run_id": run_id,
+                    "ts": wall_time(),
+                }
+            )
     log(f"campaign {spec.name}: run {run_id}" + (" (resumed)" if resume else ""))
 
     context = CampaignContext(params=params, runner=runner, started=start)
@@ -186,11 +211,14 @@ def run_campaign(
     for name in machine.order:
         stage = spec.stage(name)
         report = _run_stage(
-            stage, machine, context, runner, ledger, run_id, log
+            stage, machine, context, runner, ledger, run_id, log, sinks
         )
         reports.append(report)
+    finished_event = {"event": "campaign_finished", "ts": wall_time()}
     if ledger is not None:
-        ledger.append(run_id, {"event": "campaign_finished"})
+        ledger.append(run_id, finished_event)
+    if sinks is not None:
+        sinks.emit(dict(finished_event, run_id=run_id))
     log(f"campaign {spec.name}: run {run_id} finished")
     return CampaignRun(
         run_id=run_id,
@@ -248,14 +276,46 @@ def _run_stage(
     ledger: Optional[RunLedger],
     run_id: str,
     log: Callable[[str], None],
+    sinks: Optional[SinkRouter] = None,
 ) -> StageReport:
     """Execute one stage (or re-resolve a passed one) and report on it."""
     name = stage.name
     current = machine.state(name)
 
     def record(event: Dict[str, Any]) -> None:
+        # Stamp the timestamp here (rather than letting ledger.append default
+        # it) so the ledger line and the sink copy carry the same ``ts``.
+        payload = dict(event, stage=name)
+        payload.setdefault("ts", wall_time())
         if ledger is not None:
-            ledger.append(run_id, dict(event, stage=name))
+            ledger.append(run_id, payload)
+        if sinks is not None:
+            sinks.emit(dict(payload, run_id=run_id))
+
+    # --- per-job progress: buffer completions, commit small ledger chunks.
+    progress_buffer: List[str] = []
+
+    def flush_progress() -> None:
+        if not progress_buffer:
+            return
+        batch = list(progress_buffer)
+        del progress_buffer[:]
+        try:
+            record({"event": "jobs_progress", "job_hashes": batch})
+        except Exception:  # noqa: BLE001 - progress is observability only
+            # A full disk (or similar) will still fail the *batch-grained*
+            # jobs_finished record below; incremental progress must not be
+            # the thing that kills a run.
+            get_metrics().inc("orchestrator.progress_record_errors")
+
+    def on_job_done(job: Job) -> None:
+        if job.cacheable:
+            progress_buffer.append(job.job_hash)
+            if len(progress_buffer) >= PROGRESS_CHUNK:
+                flush_progress()
+
+    observing = ledger is not None or sinks is not None
+    progress = on_job_done if observing else None
 
     if current is StageState.PASSED:
         # Completed before the crash: re-plan and resolve purely from the
@@ -292,17 +352,25 @@ def _run_stage(
         # Planning, execution and reduction all count as the stage's work:
         # a failure in any of them fails the stage (and blocks dependents).
         jobs = list(stage.plan(context))
-        results = runner.run_jobs(jobs)
+        record({"event": "stage_planned", "num_jobs": len(jobs)})
+        results = runner.run_jobs(jobs, progress=progress)
+        flush_progress()
         output = stage.reduce(context, results) if stage.reduce else results
     except Exception as exc:
+        flush_progress()  # jobs that finished before the failure still count
         machine.transition(name, StageState.FAILED)
         record({"event": "stage_failed", "error": str(exc)})
         for blocked in machine.cascade_failure(name):
+            blocked_event = {
+                "event": "stage_blocked",
+                "stage": blocked,
+                "cause": name,
+                "ts": wall_time(),
+            }
             if ledger is not None:
-                ledger.append(
-                    run_id,
-                    {"event": "stage_blocked", "stage": blocked, "cause": name},
-                )
+                ledger.append(run_id, blocked_event)
+            if sinks is not None:
+                sinks.emit(dict(blocked_event, run_id=run_id))
             log(f"  stage {blocked}: blocked (depends on failed {name})")
         raise CampaignError(f"stage {name!r} of run {run_id!r} failed: {exc}") from exc
     recomputed = runner.jobs_run - jobs_before
@@ -354,6 +422,7 @@ def resume_campaign(
     ledger: RunLedger,
     runner: Optional[ExperimentRunner] = None,
     log: Callable[[str], None] = _default_log,
+    sinks: Optional[SinkRouter] = None,
 ) -> CampaignRun:
     """Resume a killed or failed campaign run from its ledger.
 
@@ -372,4 +441,5 @@ def resume_campaign(
         resume=True,
         log=log,
         replayed_state=state,
+        sinks=sinks,
     )

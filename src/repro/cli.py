@@ -330,6 +330,19 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_resume.add_argument("run_id", help="run id (see 'campaign list')")
     add_runtime_arguments(campaign_resume)
 
+    for observed_sub in (campaign_run, campaign_resume):
+        observed_sub.add_argument(
+            "--event-log",
+            default=None,
+            help="also append every ledger event as one JSON line to this file",
+        )
+        observed_sub.add_argument(
+            "--webhook",
+            default=None,
+            help="also POST every ledger event as JSON to this http(s) URL "
+            "(best-effort; delivery failures never fail the run)",
+        )
+
     campaign_status = campaign_sub.add_parser(
         "status", help="show one run's stage states from its ledger"
     )
@@ -341,6 +354,42 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_list = campaign_sub.add_parser("list", help="list recorded campaign runs")
     campaign_list.add_argument(
         "--cache-dir", default=None, help="cache directory holding the campaign ledgers"
+    )
+
+    campaign_watch = campaign_sub.add_parser(
+        "watch",
+        help="live view of a (possibly still running) campaign, projected "
+        "from its ledger tail",
+    )
+    campaign_watch.add_argument("run_id", help="run id (see 'campaign list')")
+    campaign_watch.add_argument(
+        "--cache-dir", default=None, help="cache directory holding the campaign ledgers"
+    )
+    campaign_watch.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between ledger polls (default 1.0)",
+    )
+    campaign_watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (scripting/CI mode)",
+    )
+
+    campaign_report = campaign_sub.add_parser(
+        "report",
+        help="render a run's report purely from its ledger and the result "
+        "cache (byte-identical across invocations)",
+    )
+    campaign_report.add_argument("run_id", help="run id (see 'campaign list')")
+    campaign_report.add_argument(
+        "--cache-dir", default=None, help="cache directory holding the campaign ledgers"
+    )
+    campaign_report.add_argument(
+        "--metrics-out",
+        default=None,
+        help="also write this process's metrics-spine JSON snapshot to PATH",
     )
 
     fleet = subparsers.add_parser(
@@ -786,6 +835,95 @@ def _campaign_ledger(cache_dir: Optional[str]):
     return RunLedger(ledger_root(base))
 
 
+def _campaign_sinks(args: argparse.Namespace):
+    """Build the event-sink router from ``--event-log``/``--webhook`` flags.
+
+    Returns ``None`` when neither flag is set, so un-observed runs skip the
+    router entirely.
+    """
+    from repro.obs import JsonlFileSink, SinkRouter, WebhookSink
+
+    event_log = getattr(args, "event_log", None)
+    webhook = getattr(args, "webhook", None)
+    if not event_log and not webhook:
+        return None
+    router = SinkRouter()
+    if event_log:
+        router.add(JsonlFileSink(Path(event_log)))
+    if webhook:
+        router.add(WebhookSink(webhook))
+    return router
+
+
+def _report_sink_errors(sinks) -> None:
+    """One stderr line when best-effort event delivery dropped anything."""
+    if sinks is not None and sinks.errors:
+        print(
+            f"warning: {sinks.errors} event delivery failure(s); "
+            f"last: {sinks.last_error}",
+            file=sys.stderr,
+        )
+
+
+def _campaign_watch(args: argparse.Namespace) -> int:
+    """Live terminal view of one run, re-projected from its ledger tail."""
+    import time
+
+    from repro.obs import CampaignProjection, LedgerFollower, render_watch, wall_time
+
+    ledger = _campaign_ledger(args.cache_dir)
+    path = ledger.path(args.run_id)
+    if not path.exists():
+        print(
+            f"error: unknown campaign run {args.run_id!r} under {ledger.root}",
+            file=sys.stderr,
+        )
+        return 2
+    follower = LedgerFollower(path)
+    projection = CampaignProjection(args.run_id)
+    seen_truncations = 0
+    first_frame = True
+    while True:
+        events = follower.poll()
+        if follower.truncations != seen_truncations:
+            # The journal shrank under us (rotation/tampering): the follower
+            # re-read it from the top, so fold into a fresh projection.
+            seen_truncations = follower.truncations
+            projection = CampaignProjection(args.run_id)
+        for event in events:
+            projection.apply(event)
+        if events or first_frame:
+            first_frame = False
+            frame = render_watch(projection, now=wall_time())
+            if follower.malformed:
+                frame += (
+                    f"\nwarning: {follower.malformed} malformed ledger "
+                    "line(s) skipped"
+                )
+            print(frame)
+            print()
+        if projection.terminal:
+            return 1 if projection.failed else 0
+        if args.once:
+            return 0
+        time.sleep(args.interval)
+
+
+def _campaign_report(args: argparse.Namespace) -> int:
+    """Post-hoc report of one run, rendered from ledger + cache alone."""
+    from repro.obs import get_metrics, project_state, render_report
+    from repro.runtime.atomic import write_atomic_json
+
+    ledger = _campaign_ledger(args.cache_dir)
+    state = ledger.replay(args.run_id)
+    projection = project_state(state)
+    cache_base = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    print(render_report(projection, cache=ResultCache(cache_base)))
+    if args.metrics_out:
+        write_atomic_json(Path(args.metrics_out), get_metrics().snapshot(), indent=2)
+    return 0
+
+
 def _print_campaign_result(result, runner_stats: Optional[dict] = None) -> None:
     final = result.final_output
     if final is not None and hasattr(final, "render"):
@@ -811,7 +949,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
 
     if args.campaign_command == "list":
         ledger = _campaign_ledger(args.cache_dir)
-        runs = ledger.list_runs()
+        runs, corrupt = ledger.scan_runs()
         rows = [
             [
                 state.run_id,
@@ -822,6 +960,11 @@ def _run_campaign(args: argparse.Namespace) -> int:
             ]
             for state in runs
         ]
+        # Journals that failed to replay still get a row: hiding a rotted run
+        # from the listing would make its disappearance look like deletion.
+        rows.extend(
+            [entry["run_id"], "?", "-", "-", "CORRUPT"] for entry in corrupt
+        )
         print(
             format_table(
                 ("Run", "Campaign", "Stages passed", "Jobs recorded", "Finished"),
@@ -829,7 +972,13 @@ def _run_campaign(args: argparse.Namespace) -> int:
                 title=f"Campaign runs ({ledger.root})",
             )
         )
+        for entry in corrupt:
+            print(f"warning: run {entry['run_id']}: {entry['error']}", file=sys.stderr)
         return 0
+    if args.campaign_command == "watch":
+        return _campaign_watch(args)
+    if args.campaign_command == "report":
+        return _campaign_report(args)
     if args.campaign_command == "status":
         ledger = _campaign_ledger(args.cache_dir)
         state = ledger.replay(args.run_id)
@@ -854,11 +1003,15 @@ def _run_campaign(args: argparse.Namespace) -> int:
         print(f"finished: {'yes' if state.finished else 'no'}")
         return 0
     ledger = _campaign_ledger(args.cache_dir)
+    sinks = _campaign_sinks(args)
     if args.campaign_command == "resume":
         with runner_from_args(args) as runner:
-            result = resume_campaign(args.run_id, ledger, runner=runner, log=print)
+            result = resume_campaign(
+                args.run_id, ledger, runner=runner, log=print, sinks=sinks
+            )
             stats = runner.stats()
         _print_campaign_result(result, stats)
+        _report_sink_errors(sinks)
         return 0
     # campaign run.  Only meaningfully-set knobs go into the params — the
     # orchestrator rejects parameters the chosen campaign does not read, so
@@ -878,10 +1031,17 @@ def _run_campaign(args: argparse.Namespace) -> int:
         ]
     with runner_from_args(args) as runner:
         result = run_campaign(
-            spec, params, runner=runner, ledger=ledger, run_id=args.run_id, log=print
+            spec,
+            params,
+            runner=runner,
+            ledger=ledger,
+            run_id=args.run_id,
+            log=print,
+            sinks=sinks,
         )
         stats = runner.stats()
     _print_campaign_result(result, stats)
+    _report_sink_errors(sinks)
     return 0
 
 

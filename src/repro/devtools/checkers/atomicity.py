@@ -57,6 +57,7 @@ class AtomicityChecker(Checker):
             "src/repro/runtime/spool.py",
             "src/repro/runtime/cache.py",
             "src/repro/campaigns",
+            "src/repro/obs",
             "src/repro/service",
             "benchmarks",
         ],

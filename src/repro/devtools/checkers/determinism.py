@@ -66,6 +66,7 @@ class DeterminismChecker(Checker):
             "src/repro/runtime/jobs.py",
             "src/repro/runtime/baselines.py",
             "src/repro/campaigns",
+            "src/repro/obs",
             "src/repro/service",
             "src/repro/workloads",
         ],

@@ -45,6 +45,7 @@ SOURCES = {
     "batched": "src/repro/dynamics/batched.py",
     "cache": "src/repro/runtime/cache.py",
     "results_io": "src/repro/analysis/results_io.py",
+    "ledger": "src/repro/campaigns/ledger.py",
 }
 
 
@@ -81,6 +82,29 @@ def _int_constant(tree: ast.Module, name: str, relpath: str) -> int:
         ):
             return node.value.value
     raise SchemaExtractionError(f"constant {name} not found in {relpath}")
+
+
+def _literal_assignment(tree: ast.Module, name: str, relpath: str) -> Any:
+    """Evaluate a module-level pure-literal assignment (dicts of tuples etc.).
+
+    The assigned expression must be a Python literal — which is exactly the
+    constraint that makes it extractable without importing the module, and
+    why :data:`LEDGER_EVENT_SHAPES` is declared as one.
+    """
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == name
+        ):
+            try:
+                return ast.literal_eval(node.value)
+            except ValueError as exc:
+                raise SchemaExtractionError(
+                    f"{name} in {relpath} is not a pure literal: {exc}"
+                ) from exc
+    raise SchemaExtractionError(f"assignment {name} not found in {relpath}")
 
 
 def _annotated_fields(cls: ast.ClassDef) -> List[str]:
@@ -155,6 +179,9 @@ def compute_manifest(
         "FORMAT_VERSION": _int_constant(
             trees["results_io"], "FORMAT_VERSION", SOURCES["results_io"]
         ),
+        "LEDGER_SCHEMA_VERSION": _int_constant(
+            trees["ledger"], "LEDGER_SCHEMA_VERSION", SOURCES["ledger"]
+        ),
     }
 
     solve_job = _find_class(jobs, "SolveJob", SOURCES["jobs"])
@@ -222,6 +249,18 @@ def compute_manifest(
             "governed_by": "FORMAT_VERSION",
             "source": SOURCES["results_io"],
             "keys": _dict_keys(results_func),
+        },
+        "ledger_events": {
+            "governed_by": "LEDGER_SCHEMA_VERSION",
+            "source": SOURCES["ledger"],
+            # kind -> sorted field list; adding a kind or a field changes the
+            # manifest and therefore demands a LEDGER_SCHEMA_VERSION bump.
+            "event_shapes": {
+                kind: sorted(fields)
+                for kind, fields in _literal_assignment(
+                    trees["ledger"], "LEDGER_EVENT_SHAPES", SOURCES["ledger"]
+                ).items()
+            },
         },
     }
 

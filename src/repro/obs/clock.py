@@ -1,0 +1,37 @@
+"""Clock abstractions: the observability layer's only time sources.
+
+Two kinds of time exist in this repo, and conflating them is how
+determinism bugs happen:
+
+* **Monotonic/elapsed time** (:data:`monotonic_time`) — latencies, rates,
+  lease ages.  Never jumps with the system clock; safe anywhere.  All
+  metrics and projections take it as an injectable ``clock`` parameter so
+  tests advance time by hand.
+* **Wall-clock time** (:func:`wall_time`) — human-facing timestamps on
+  ledger events and sink records.  Nothing may hash, replay, or branch on
+  it.  This function is the package's *single* sanctioned read; the
+  ``determinism-wallclock`` lint rule (which scopes ``src/repro/obs``)
+  keeps every other callsite honest.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: The type of an injectable elapsed-time source (seconds).
+Clock = Callable[[], float]
+
+#: Default monotonic clock for latencies, rates and ETAs.
+monotonic_time: Clock = time.monotonic
+
+
+def wall_time() -> float:
+    """Current wall-clock time (seconds since the epoch).
+
+    Observability metadata only: event timestamps, sink records, snapshot
+    annotations.  Nothing hashes or replays against the returned value.
+    """
+    # repro-lint: disable=determinism-wallclock -- this is the one sanctioned
+    # wall-clock read of the observability layer; see the module docstring.
+    return time.time()

@@ -1,0 +1,425 @@
+"""Ledger projections: fold journal events into live campaign views.
+
+Everything here is a *pure* function of ledger bytes — no solver state, no
+orchestrator handles — which is what makes ``msropm campaign watch`` safe to
+point at a run owned by another process and ``msropm campaign report`` able
+to render a SIGKILLed run from its journal (plus the content-addressed
+cache) alone.
+
+:class:`LedgerFollower`
+    An incremental tail-reader of one journal file.  It only ever consumes
+    *committed* events (lines with their trailing newline on disk), so the
+    torn final line of a crashed writer is invisible until its newline
+    lands; a shrunken file (rotation, tampering) resets the follower, and
+    malformed committed lines are counted — never fatal — because a watcher
+    must keep watching a damaged run rather than die with it.
+:class:`CampaignProjection`
+    The fold itself: per-stage states, per-job completion counts (unique
+    hashes from ``jobs_progress``/``jobs_finished``), planned totals from
+    ``stage_planned``, plus throughput and ETA derived from event
+    timestamps.
+:func:`render_watch` / :func:`render_report`
+    Terminal renderings of the projection: a refreshing status frame, and a
+    deterministic post-hoc report (byte-identical across invocations, as
+    the campaign-smoke CI job asserts).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.analysis.reporting import format_table
+
+#: Stage states a projection can conclude nothing further about.
+_TERMINAL_STAGE_STATES = ("passed", "failed", "blocked")
+
+
+@dataclass
+class StageProgress:
+    """One stage's view: state plus per-job completion accounting."""
+
+    name: str
+    state: str = "not_started"
+    #: Jobs the orchestrator planned for the stage (``None`` until recorded).
+    planned: Optional[int] = None
+    #: Unique job hashes recorded finished (progress or batch events).
+    done_hashes: List[str] = field(default_factory=list)
+    _seen: set = field(default_factory=set, repr=False)
+    #: Event timestamps bracketing the stage's observed progress.
+    first_ts: Optional[float] = None
+    last_ts: Optional[float] = None
+    error: Optional[str] = None
+    blocked_by: Optional[str] = None
+
+    @property
+    def done(self) -> int:
+        return len(self.done_hashes)
+
+    @property
+    def completion(self) -> Optional[float]:
+        """Fraction of planned jobs recorded done (``None`` until planned)."""
+        if self.planned is None or self.planned <= 0:
+            return 1.0 if self.state == "passed" else None
+        return min(1.0, self.done / self.planned)
+
+    def record_jobs(self, hashes: List[str], ts: Optional[float]) -> None:
+        for value in hashes:
+            job_hash = str(value)
+            if job_hash not in self._seen:
+                self._seen.add(job_hash)
+                self.done_hashes.append(job_hash)
+        if ts is not None:
+            if self.first_ts is None:
+                self.first_ts = ts
+            self.last_ts = ts
+
+
+class CampaignProjection:
+    """The fold of one run's event stream into a status view."""
+
+    def __init__(self, run_id: str) -> None:
+        self.run_id = run_id
+        self.campaign: str = ""
+        self.params: Dict[str, Any] = {}
+        self.ledger_schema: Optional[int] = None
+        self.created_at: Optional[float] = None
+        self.finished = False
+        self.events_applied = 0
+        self.last_event_ts: Optional[float] = None
+        self._stages: Dict[str, StageProgress] = {}
+        self._order: List[str] = []
+
+    # ------------------------------------------------------------------
+    def _stage(self, name: str) -> StageProgress:
+        progress = self._stages.get(name)
+        if progress is None:
+            progress = self._stages[name] = StageProgress(name=name)
+            self._order.append(name)
+        return progress
+
+    def apply(self, event: Dict[str, Any]) -> None:
+        """Fold one committed ledger event into the view."""
+        kind = str(event.get("event", ""))
+        ts = event.get("ts")
+        ts = float(ts) if isinstance(ts, (int, float)) else None
+        if ts is not None:
+            self.last_event_ts = ts
+        stage_name = event.get("stage")
+        self.events_applied += 1
+        if kind == "campaign_started":
+            self.campaign = str(event.get("campaign", ""))
+            params = event.get("params")
+            self.params = dict(params) if isinstance(params, dict) else {}
+            schema = event.get("ledger_schema")
+            self.ledger_schema = int(schema) if isinstance(schema, int) else None
+            self.created_at = ts
+            return
+        if kind == "campaign_finished":
+            self.finished = True
+            return
+        if not isinstance(stage_name, str) or not stage_name:
+            return
+        stage = self._stage(stage_name)
+        if kind in ("stage_started", "stage_resumed"):
+            stage.state = "running"
+        elif kind == "stage_planned":
+            num_jobs = event.get("num_jobs")
+            if isinstance(num_jobs, int) and num_jobs >= 0:
+                stage.planned = num_jobs
+        elif kind in ("jobs_progress", "jobs_finished"):
+            hashes = event.get("job_hashes")
+            stage.record_jobs(list(hashes) if isinstance(hashes, list) else [], ts)
+        elif kind == "stage_passed":
+            stage.state = "passed"
+        elif kind == "stage_failed":
+            stage.state = "failed"
+            stage.error = str(event.get("error", ""))
+        elif kind == "stage_blocked":
+            stage.state = "blocked"
+            cause = event.get("cause")
+            stage.blocked_by = str(cause) if cause is not None else None
+
+    def apply_all(self, events: List[Dict[str, Any]]) -> "CampaignProjection":
+        for event in events:
+            self.apply(event)
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def stages(self) -> List[StageProgress]:
+        """Stage views in first-appearance (topological execution) order."""
+        return [self._stages[name] for name in self._order]
+
+    @property
+    def jobs_done(self) -> int:
+        return sum(stage.done for stage in self.stages)
+
+    @property
+    def jobs_planned(self) -> Optional[int]:
+        """Total planned jobs, ``None`` while any started stage lacks a plan."""
+        total = 0
+        known = False
+        for stage in self.stages:
+            if stage.planned is None:
+                if stage.state != "not_started":
+                    return None
+                continue
+            total += stage.planned
+            known = True
+        return total if known else None
+
+    @property
+    def failed(self) -> bool:
+        return any(stage.state == "failed" for stage in self.stages)
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the run can make no further progress (finished or failed)."""
+        return self.finished or self.failed
+
+    @property
+    def status(self) -> str:
+        if self.finished:
+            return "finished"
+        if self.failed:
+            return "failed"
+        if self._order:
+            return "running"
+        return "created"
+
+    # ------------------------------------------------------------------
+    def throughput(self) -> Optional[float]:
+        """Observed jobs/second over the ledger's progress window.
+
+        Derived purely from event timestamps, so the same journal always
+        reports the same rate.  ``None`` until two distinct progress
+        timestamps exist.
+        """
+        first: Optional[float] = None
+        last: Optional[float] = None
+        for stage in self.stages:
+            if stage.first_ts is not None:
+                first = stage.first_ts if first is None else min(first, stage.first_ts)
+            if stage.last_ts is not None:
+                last = stage.last_ts if last is None else max(last, stage.last_ts)
+        if first is None or last is None or last <= first:
+            return None
+        done = self.jobs_done
+        if done <= 0:
+            return None
+        return done / (last - first)
+
+    def eta_seconds(self) -> Optional[float]:
+        """Seconds of work left at the observed rate (``None`` if unknowable)."""
+        if self.terminal:
+            return 0.0
+        planned = self.jobs_planned
+        rate = self.throughput()
+        if planned is None or rate is None or rate <= 0:
+            return None
+        remaining = max(0, planned - self.jobs_done)
+        return remaining / rate
+
+    def duration_seconds(self) -> Optional[float]:
+        """Wall span from run creation to the last recorded event."""
+        if self.created_at is None or self.last_event_ts is None:
+            return None
+        return max(0.0, self.last_event_ts - self.created_at)
+
+
+def project_state(state: Any) -> CampaignProjection:
+    """Project an already-replayed :class:`~repro.campaigns.ledger.LedgerState`."""
+    projection = CampaignProjection(state.run_id)
+    projection.apply_all(state.events)
+    return projection
+
+
+# ----------------------------------------------------------------------
+# Journal tail-following.
+# ----------------------------------------------------------------------
+class LedgerFollower:
+    """Incrementally read committed events from one journal file.
+
+    Torn-tail tolerance is the design center: only bytes up to the last
+    newline are consumed, so a writer crashed (or merely buffered) mid-line
+    never produces a partial event here — the fragment is re-examined on the
+    next poll once (if ever) its newline lands.  A file that *shrank*
+    (rotation, tampering, manual truncation) resets the follower to offset
+    zero and bumps :attr:`truncations`; callers rebuild their projection
+    when they see the counter move.  Malformed committed lines are skipped
+    and counted in :attr:`malformed` — a watcher must survive a damaged
+    journal and *show* the damage, not die with it.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.offset = 0
+        self.truncations = 0
+        self.malformed = 0
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Committed events appended since the previous poll."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []
+        if size < self.offset:
+            self.offset = 0
+            self.truncations += 1
+        if size == self.offset:
+            return []
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self.offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        committed_end = chunk.rfind(b"\n")
+        if committed_end < 0:
+            return []  # nothing but an uncommitted tail so far
+        committed = chunk[: committed_end + 1]
+        self.offset += len(committed)
+        events: List[Dict[str, Any]] = []
+        for line in committed.decode("utf-8", errors="replace").splitlines():
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                self.malformed += 1
+                continue
+            if not isinstance(event, dict):
+                self.malformed += 1
+                continue
+            events.append(event)
+        return events
+
+
+# ----------------------------------------------------------------------
+# Renderers.
+# ----------------------------------------------------------------------
+def _format_utc(ts: Optional[float]) -> str:
+    """A stable UTC rendering of a wall timestamp (timezone-independent)."""
+    if ts is None:
+        return "-"
+    moment = datetime.datetime.fromtimestamp(ts, tz=datetime.timezone.utc)
+    return moment.strftime("%Y-%m-%d %H:%M:%S UTC")
+
+
+def _format_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, rest = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{rest:04.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def _stage_rows(projection: CampaignProjection) -> List[List[object]]:
+    rows: List[List[object]] = []
+    for stage in projection.stages:
+        completion = stage.completion
+        rows.append(
+            [
+                stage.name,
+                stage.state,
+                stage.planned if stage.planned is not None else "?",
+                stage.done,
+                f"{completion * 100:.0f}%" if completion is not None else "-",
+            ]
+        )
+    return rows
+
+
+def render_watch(projection: CampaignProjection, now: Optional[float] = None) -> str:
+    """One ``campaign watch`` frame: stage table plus throughput/ETA footer.
+
+    ``now`` is the caller's wall timestamp (used only for the "last event
+    ... ago" line); tests pass a fixed value for deterministic frames.
+    """
+    lines = [
+        f"Campaign '{projection.campaign}' run {projection.run_id} "
+        f"[{projection.status}]",
+        f"created: {_format_utc(projection.created_at)}   "
+        f"events: {projection.events_applied}",
+    ]
+    rows = _stage_rows(projection)
+    if rows:
+        lines.append("")
+        lines.append(format_table(("Stage", "State", "Jobs", "Done", "Progress"), rows))
+    planned = projection.jobs_planned
+    rate = projection.throughput()
+    eta = projection.eta_seconds()
+    lines.append("")
+    lines.append(
+        f"jobs: {projection.jobs_done}"
+        + (f"/{planned}" if planned is not None else "")
+        + f"   throughput: {f'{rate:.2f} job/s' if rate is not None else '-'}"
+        + f"   ETA: {_format_duration(eta) if eta is not None else '-'}"
+    )
+    if now is not None and projection.last_event_ts is not None:
+        lines.append(
+            f"last event: {_format_duration(max(0.0, now - projection.last_event_ts))} ago"
+        )
+    for stage in projection.stages:
+        if stage.state == "failed" and stage.error:
+            lines.append(f"stage {stage.name} failed: {stage.error}")
+        elif stage.state == "blocked" and stage.blocked_by:
+            lines.append(f"stage {stage.name} blocked by failed {stage.blocked_by}")
+    return "\n".join(lines)
+
+
+def render_report(
+    projection: CampaignProjection, cache: Optional[Any] = None
+) -> str:
+    """The post-hoc ``campaign report``: rendered from ledger (+cache) alone.
+
+    Every line is a pure function of the journal bytes and, when ``cache``
+    (a :class:`~repro.runtime.cache.ResultCache`) is given, of which
+    recorded job hashes the artifact store still holds — so repeated
+    invocations are byte-identical, the property the campaign-smoke CI job
+    diffs for.
+    """
+    lines = [
+        f"Campaign report: '{projection.campaign}' run {projection.run_id}",
+        f"status: {projection.status}   created: {_format_utc(projection.created_at)}   "
+        f"duration: {_format_duration(projection.duration_seconds())}",
+    ]
+    if projection.params:
+        rendered = ", ".join(
+            f"{key}={projection.params[key]!r}" for key in sorted(projection.params)
+        )
+        lines.append(f"params: {rendered}")
+    rows = _stage_rows(projection)
+    if rows:
+        lines.append("")
+        lines.append(format_table(("Stage", "State", "Jobs", "Done", "Progress"), rows))
+    planned = projection.jobs_planned
+    rate = projection.throughput()
+    lines.append("")
+    lines.append(
+        f"jobs recorded: {projection.jobs_done}"
+        + (f" of {planned} planned" if planned is not None else "")
+        + (f"   observed rate: {rate:.2f} job/s" if rate is not None else "")
+    )
+    if cache is not None:
+        recorded = [h for stage in projection.stages for h in stage.done_hashes]
+        present = sum(1 for job_hash in recorded if cache.load_envelope(job_hash) is not None)
+        lines.append(
+            f"cache: {present} of {len(recorded)} recorded job result(s) present"
+        )
+    for stage in projection.stages:
+        if stage.state == "failed" and stage.error:
+            lines.append(f"stage {stage.name} failed: {stage.error}")
+        elif stage.state == "blocked" and stage.blocked_by:
+            lines.append(f"stage {stage.name} blocked by failed {stage.blocked_by}")
+    return "\n".join(lines)

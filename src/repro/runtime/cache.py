@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Union
 
 from repro.exceptions import ReproError
+from repro.obs.metrics import get_metrics
 from repro.runtime.atomic import atomic_output, write_atomic_json
 from repro.runtime.jobs import Job, canonical_json
 
@@ -159,6 +160,7 @@ class ResultCache:
         except OSError:
             # No entry on disk: the ordinary cold miss.
             self.misses += 1
+            get_metrics().inc("cache.misses")
             return None
         try:
             envelope = json.loads(text)
@@ -177,8 +179,12 @@ class ResultCache:
             # be overwritten by the recomputed result.
             self.misses += 1
             self.stale_misses += 1
+            metrics = get_metrics()
+            metrics.inc("cache.misses")
+            metrics.inc("cache.stale_misses")
             return None
         self.hits += 1
+        get_metrics().inc("cache.hits")
         return result
 
     def load_envelope(self, job_hash: str) -> Optional[Dict]:
@@ -222,6 +228,7 @@ class ResultCache:
         }
         self._write_atomic(self.path_for(job.job_hash), envelope)
         self.stores += 1
+        get_metrics().inc("cache.stores")
 
     # ------------------------------------------------------------------
     # Generic JSON payloads (reference solutions and similar derived data)

@@ -41,9 +41,10 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import get_metrics
 from repro.runtime.jobs import Job
 from repro.runtime.spool import (
     DEFAULT_LEASE_TIMEOUT,
@@ -56,6 +57,13 @@ from repro.runtime.worker_env import WORKER_THREAD_CAPS, _execute_job, _worker_i
 
 #: Registered executor backend names (the CLI's ``--executor`` choices).
 EXECUTOR_NAMES = ("local", "spool")
+
+#: Per-job completion callback: invoked once per job as its payload becomes
+#: available, in whatever order the backend observes completions.  Callbacks
+#: are observability hooks — they must not raise, and backends may re-invoke
+#: them for the same job after an internal retry (consumers deduplicate by
+#: job hash).
+ProgressCallback = Callable[[Job], None]
 
 
 class ExecutorBackend(ABC):
@@ -75,8 +83,14 @@ class ExecutorBackend(ABC):
     workers: int = 1
 
     @abstractmethod
-    def run_payloads(self, jobs: Sequence[Job]) -> List[Dict]:
-        """Execute ``jobs``, returning one payload per job in submission order."""
+    def run_payloads(
+        self, jobs: Sequence[Job], progress: Optional[ProgressCallback] = None
+    ) -> List[Dict]:
+        """Execute ``jobs``, returning one payload per job in submission order.
+
+        ``progress`` (optional) is invoked once per job as its payload lands,
+        giving callers per-job granularity without waiting for the batch.
+        """
 
     def close(self) -> None:
         """Release any warm execution state (idempotent)."""
@@ -152,7 +166,9 @@ class LocalPoolExecutorBackend(ExecutorBackend):
             self._pool = None
 
     # ------------------------------------------------------------------
-    def _map_batch(self, jobs: Sequence[Job]) -> List[Dict]:
+    def _map_batch(
+        self, jobs: Sequence[Job], progress: Optional[ProgressCallback] = None
+    ) -> List[Dict]:
         # Without an explicit chunksize, pool.map ships jobs one at a time and
         # a scenario matrix of many small jobs serializes on IPC round-trips.
         # Target ~4 chunks per worker: big enough to amortize pickling, small
@@ -160,21 +176,39 @@ class LocalPoolExecutorBackend(ExecutorBackend):
         # submission order regardless of chunking, preserving determinism.
         chunksize = max(1, len(jobs) // (self.workers * 4))
         pool = self._ensure_pool()
-        return list(pool.map(_execute_job, jobs, chunksize=chunksize))
+        # Consume the map iterator lazily: payloads surface (in submission
+        # order) as their chunks complete, so progress fires per job during
+        # the batch rather than all at once after it.
+        payloads: List[Dict] = []
+        for job, payload in zip(jobs, pool.map(_execute_job, jobs, chunksize=chunksize)):
+            payloads.append(payload)
+            if progress is not None:
+                progress(job)
+        return payloads
 
-    def run_payloads(self, jobs: Sequence[Job]) -> List[Dict]:
+    def run_payloads(
+        self, jobs: Sequence[Job], progress: Optional[ProgressCallback] = None
+    ) -> List[Dict]:
         if self.workers == 1 or len(jobs) == 1:
-            return [_execute_job(job) for job in jobs]
+            payloads = []
+            for job in jobs:
+                payloads.append(_execute_job(job))
+                if progress is not None:
+                    progress(job)
+            return payloads
         try:
-            return self._map_batch(jobs)
+            return self._map_batch(jobs, progress)
         except BrokenProcessPool:
             # One dead worker poisons the whole executor and loses the entire
             # batch's in-flight results.  Jobs are idempotent, so retry the
-            # batch once on a fresh pool before giving up.
+            # batch once on a fresh pool before giving up.  A retried batch
+            # may re-report progress for jobs the first attempt already
+            # announced; progress consumers deduplicate by job hash.
             self._discard_pool()
             self.broken_pool_retries += 1
+            get_metrics().inc("executor.broken_pool_retries")
             try:
-                return self._map_batch(jobs)
+                return self._map_batch(jobs, progress)
             except BrokenProcessPool:
                 # Workers died again on a clean pool: systematic, propagate —
                 # and drop the poisoned pool so a later batch starts fresh.
@@ -291,7 +325,9 @@ class SpoolExecutorBackend(ExecutorBackend):
         self._children = []
 
     # ------------------------------------------------------------------
-    def run_payloads(self, jobs: Sequence[Job]) -> List[Dict]:
+    def run_payloads(
+        self, jobs: Sequence[Job], progress: Optional[ProgressCallback] = None
+    ) -> List[Dict]:
         self.spool.ensure()
         payloads: Dict[int, Dict] = {}
         positions: Dict[str, List[int]] = {}
@@ -320,6 +356,8 @@ class SpoolExecutorBackend(ExecutorBackend):
                 if payload is not None:
                     for index in positions[job_hash]:
                         payloads[index] = payload
+                        if progress is not None:
+                            progress(jobs[index])
                     missing.discard(job_hash)
                     progressed = True
             if not missing:
@@ -341,12 +379,18 @@ class SpoolExecutorBackend(ExecutorBackend):
 
         executed = self._participant.executed - locally_before
         self.jobs_executed_locally += executed
-        self.jobs_stolen += max(0, len(positions) - executed)
+        stolen = max(0, len(positions) - executed)
+        self.jobs_stolen += stolen
+        metrics = get_metrics()
+        metrics.inc("spool.jobs_executed_locally", executed)
+        metrics.inc("spool.jobs_stolen", stolen)
 
         # Uncacheable jobs have no content hash to key spool files by; they
         # run inline (matching the serial path bit for bit).
         for index in inline:
             payloads[index] = _execute_job(jobs[index])
+            if progress is not None:
+                progress(jobs[index])
         return [payloads[index] for index in range(len(jobs))]
 
 

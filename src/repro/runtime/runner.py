@@ -54,8 +54,9 @@ from repro.exceptions import ReproError
 from repro.core.config import MSROPMConfig
 from repro.core.results import SolveResult
 from repro.graphs.graph import Graph
+from repro.obs.metrics import get_metrics
 from repro.runtime.cache import ResultCache
-from repro.runtime.executors import make_backend
+from repro.runtime.executors import ProgressCallback, make_backend
 from repro.runtime.jobs import GraphSpec, Job, SolveJob, as_graph_spec, merge_job_results
 from repro.runtime.scheduler import JobScheduler
 
@@ -239,7 +240,9 @@ class ExperimentRunner:
 
     def stats(self) -> Dict[str, int]:
         """Execution counters: jobs run, cache hits/misses/stores, memo size,
-        and the submit path's ticket/coalescing/queue accounting."""
+        and the submit path's ticket/coalescing/queue accounting.
+        ``drain_alive`` reports whether the background drain thread is
+        currently running (liveness for the service's ``/stats``)."""
         with self._cond:
             counters = {
                 "jobs_run": self.jobs_run,
@@ -252,6 +255,9 @@ class ExperimentRunner:
                 "tickets_coalesced": self.tickets_coalesced,
                 "tickets_cache_served": self.tickets_cache_served,
                 "queue_depth": self._in_flight,
+                "drain_alive": int(
+                    self._drain_thread is not None and self._drain_thread.is_alive()
+                ),
             }
         if self.cache is not None:
             counters["cache_hits"] = self.cache.hits
@@ -274,7 +280,9 @@ class ExperimentRunner:
         )
         return self.solve_many([request])[0]
 
-    def run_jobs(self, jobs: Sequence[Job]) -> List[Any]:
+    def run_jobs(
+        self, jobs: Sequence[Job], progress: Optional[ProgressCallback] = None
+    ) -> List[Any]:
         """Run a batch of jobs (any mix of types), returning decoded results
         in submission order.
 
@@ -282,6 +290,13 @@ class ExperimentRunner:
         already answered by the in-process memo or the disk cache are skipped,
         identical jobs are deduplicated by content hash and computed once, and
         the remainder shards across the scheduler's worker pool.
+
+        ``progress`` (optional) fires once per job as it resolves — immediately
+        for memo/cache answers, per completion for scheduled jobs — giving
+        callers (the campaign orchestrator's per-job ledger events) batch-free
+        granularity.  It is observability only: it must not raise, may see
+        duplicate job hashes (dedup is the consumer's job), and cannot affect
+        results.
         """
         jobs = list(jobs)
         resolved: Dict[int, Any] = {}
@@ -305,7 +320,13 @@ class ExperimentRunner:
                     pending_keys.add(key)
                 pending.append(job)
 
-        fresh = self.scheduler.run(pending)
+        if progress is not None:
+            # Announce the memo/cache-resolved jobs up front (outside the
+            # lock); scheduled jobs announce themselves as they complete.
+            for position in sorted(resolved):
+                progress(jobs[position])
+
+        fresh = self.scheduler.run(pending, progress)
         for job, result in zip(pending, fresh):
             if job.cacheable and self.cache is not None:
                 self.cache.store(job, result)
@@ -370,9 +391,11 @@ class ExperimentRunner:
                 if existing.state in TICKET_ACTIVE_STATES:
                     existing.coalesced += 1
                     self.tickets_coalesced += 1
+                    get_metrics().inc("runner.tickets_coalesced")
                     return existing
                 if existing.state == TICKET_DONE:
                     self.tickets_cache_served += 1
+                    get_metrics().inc("runner.tickets_cache_served")
                     return existing
                 # failed → fall through and re-enqueue a fresh attempt
             if key in self._memo:
@@ -387,6 +410,8 @@ class ExperimentRunner:
                 self._tickets[key] = ticket
                 self.tickets_issued += 1
                 self.tickets_cache_served += 1
+                get_metrics().inc("runner.tickets_issued")
+                get_metrics().inc("runner.tickets_cache_served")
                 return ticket
             if self.cache is not None:
                 cached = self.cache.load(job)
@@ -403,8 +428,11 @@ class ExperimentRunner:
                     self._tickets[key] = ticket
                     self.tickets_issued += 1
                     self.tickets_cache_served += 1
+                    get_metrics().inc("runner.tickets_issued")
+                    get_metrics().inc("runner.tickets_cache_served")
                     return ticket
         if self.max_pending is not None and self._in_flight >= self.max_pending:
+            get_metrics().inc("runner.submit_rejections")
             raise SubmitQueueFull(self._in_flight, self.max_pending)
         ticket_id = key if key is not None else f"anon-{next(self._anon_seq)}"
         ticket = Ticket(
@@ -414,6 +442,9 @@ class ExperimentRunner:
         self._queue.append(ticket)
         self._in_flight += 1
         self.tickets_issued += 1
+        metrics = get_metrics()
+        metrics.inc("runner.tickets_issued")
+        metrics.set_gauge("runner.queue_depth", self._in_flight)
         return ticket
 
     def _ensure_drain_thread_locked(self) -> None:
@@ -448,14 +479,18 @@ class ExperimentRunner:
                 self._queue.clear()
                 for ticket in batch:
                     ticket.state = TICKET_RUNNING
+            metrics = get_metrics()
             try:
-                results = self.scheduler.run([ticket.job for ticket in batch])
+                with metrics.timer("runner.drain_batch_seconds"):
+                    results = self.scheduler.run([ticket.job for ticket in batch])
             except Exception as exc:  # noqa: BLE001 - report, never kill the loop
+                metrics.inc("runner.drain_batch_failures")
                 with self._cond:
                     for ticket in batch:
                         ticket.state = TICKET_FAILED
                         ticket.error = f"{type(exc).__name__}: {exc}"
                         self._in_flight -= 1
+                    metrics.set_gauge("runner.queue_depth", self._in_flight)
                     self._cond.notify_all()
                 continue
             for ticket, result in zip(batch, results):
@@ -470,6 +505,8 @@ class ExperimentRunner:
                     ticket.source = "computed"
                     self.jobs_run += 1
                     self._in_flight -= 1
+                metrics.inc("runner.tickets_completed", len(batch))
+                metrics.set_gauge("runner.queue_depth", self._in_flight)
                 self._cond.notify_all()
 
     def poll(self, ticket_id: str) -> Optional[Ticket]:

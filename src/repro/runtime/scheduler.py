@@ -32,7 +32,12 @@ import multiprocessing
 import threading
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.runtime.executors import ExecutorBackend, LocalPoolExecutorBackend
+from repro.obs.metrics import get_metrics
+from repro.runtime.executors import (
+    ExecutorBackend,
+    LocalPoolExecutorBackend,
+    ProgressCallback,
+)
 from repro.runtime.jobs import Job
 
 # Re-exported for compatibility: these lived here before the backend split.
@@ -126,11 +131,22 @@ class JobScheduler:
             pass
 
     # ------------------------------------------------------------------
-    def run(self, jobs: Sequence[Job]) -> List[Any]:
-        """Run ``jobs`` and return their decoded results in submission order."""
+    def run(
+        self, jobs: Sequence[Job], progress: Optional[ProgressCallback] = None
+    ) -> List[Any]:
+        """Run ``jobs`` and return their decoded results in submission order.
+
+        ``progress`` is forwarded to the backend and invoked once per job as
+        its payload becomes available (observability only — it must not
+        raise and does not affect results).
+        """
         jobs = list(jobs)
         if not jobs:
             return []
+        metrics = get_metrics()
+        metrics.inc("scheduler.batches")
+        metrics.inc("scheduler.jobs_dispatched", len(jobs))
         with self._run_lock:
-            payloads = self.backend.run_payloads(jobs)
+            with metrics.timer("scheduler.batch_seconds"):
+                payloads = self.backend.run_payloads(jobs, progress)
         return [job.decode(payload) for job, payload in zip(jobs, payloads)]

@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import ConfigurationError, ReproError
+from repro.obs.metrics import get_metrics
 from repro.runtime.atomic import write_atomic_bytes
 from repro.runtime.jobs import Job
 from repro.runtime.worker_env import WORKER_THREAD_CAPS, _execute_job, _worker_init
@@ -161,6 +162,7 @@ class JobSpool:
         ):
             return False
         _write_atomic_bytes(self.pending_dir / f"{job_hash}.job", pickle.dumps(job))
+        get_metrics().inc("spool.enqueued")
         return True
 
     def store_result(self, job_hash: str, payload: Dict) -> None:
@@ -242,6 +244,7 @@ class JobSpool:
                 os.utime(target, (now, now))  # the claim's lease timestamp
             except OSError:
                 pass
+            get_metrics().inc("spool.claims")
             return job_hash, target
         return None
 
@@ -283,6 +286,8 @@ class JobSpool:
             except OSError:
                 continue
             reclaimed += 1
+        if reclaimed:
+            get_metrics().inc("spool.reclaims", reclaimed)
         return reclaimed
 
     def load_job(self, path: Path) -> Job:

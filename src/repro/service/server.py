@@ -23,7 +23,12 @@ Endpoints (all JSON; ``Connection: close`` per request)
     straight from the content-addressed cache — the ticket id *is* the job
     hash, so results survive the process that computed them.
 ``GET  /v1/stats``
-    Runner counters (jobs run, cache hits, coalescing) + admission counters.
+    Runner counters (jobs run, cache hits, coalescing, submit queue depth,
+    drain-thread liveness) + admission counters.
+``GET  /metrics`` (also ``/v1/metrics``)
+    JSON snapshot of the process-global metrics spine
+    (:mod:`repro.obs.metrics`): counters, gauges, and timing histograms from
+    every instrumented seam, plus the runner counters.
 ``GET  /v1/campaigns`` and ``GET /v1/campaigns/<run_id>``
     Campaign runs and per-run stage states, projected from the run ledger.
 """
@@ -36,6 +41,7 @@ import math
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
+from repro.obs.metrics import get_metrics
 from repro.runtime.runner import TICKET_DONE, ExperimentRunner, SubmitQueueFull
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -104,8 +110,11 @@ class SolverService:
             key, _, value = pair.partition("=")
             if key:
                 query[key] = value
+        metrics = get_metrics()
+        metrics.inc("service.requests")
         try:
-            return self._route(method, path, query, body)
+            with metrics.timer("service.request_seconds"):
+                return self._route(method, path, query, body)
         except ProtocolError as exc:
             return 400, {"error": str(exc)}, {}
         except Exception as exc:  # noqa: BLE001 - a request must not kill the server
@@ -136,6 +145,10 @@ class SolverService:
             if method != "GET":
                 return 405, {"error": "method not allowed"}, {}
             return self._handle_stats()
+        if path in ("/metrics", "/v1/metrics"):
+            if method != "GET":
+                return 405, {"error": "method not allowed"}, {}
+            return self._handle_metrics()
         if path == "/v1/campaigns":
             if method != "GET":
                 return 405, {"error": "method not allowed"}, {}
@@ -247,6 +260,18 @@ class SolverService:
                     "rejected_rate": self.rejected_rate,
                     "rejected_backpressure": self.rejected_backpressure,
                 },
+            },
+            {},
+        )
+
+    def _handle_metrics(self) -> Response:
+        """The metrics spine's JSON snapshot plus the runner counters."""
+        return (
+            200,
+            {
+                "protocol": PROTOCOL_VERSION,
+                "metrics": get_metrics().snapshot(),
+                "runner": self.runner.stats(),
             },
             {},
         )

@@ -1,0 +1,249 @@
+"""Adversarial ledger robustness: the journal under hostile conditions.
+
+The ledger's durability story rests on committed-on-newline framing. These
+tests attack it the ways production does: a writer SIGKILLed mid-append
+(torn tail), bytes rotted on disk (tampered committed lines), two writers
+interleaving appends to one journal, and old journals read by new code
+(v1 -> v2 replay compatibility).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaigns import RunLedger
+from repro.campaigns.ledger import LEDGER_SCHEMA_VERSION
+from repro.exceptions import ConfigurationError, ReproError
+from repro.obs import CampaignProjection, LedgerFollower, project_state
+
+
+def _started(ledger, run_id):
+    ledger.append(run_id, {"event": "stage_started", "stage": "s"})
+
+
+# ----------------------------------------------------------------------
+# Truncated mid-event (torn tail)
+# ----------------------------------------------------------------------
+class TestTornTail:
+    def _run_with_torn_tail(self, tmp_path, fragment):
+        ledger = RunLedger(tmp_path)
+        run_id = ledger.start_run("toy", {})
+        _started(ledger, run_id)
+        with open(ledger.path(run_id), "a") as handle:
+            handle.write(fragment)  # crash mid-append: no trailing newline
+        return ledger, run_id
+
+    def test_unparseable_fragment_is_invisible(self, tmp_path):
+        ledger, run_id = self._run_with_torn_tail(
+            tmp_path, '{"event": "stage_pas'
+        )
+        kinds = [event["event"] for event in ledger.events(run_id)]
+        assert kinds == ["campaign_started", "stage_started"]
+
+    def test_parseable_but_uncommitted_fragment_is_invisible(self, tmp_path):
+        # The fragment is complete, valid JSON — but without its newline it
+        # was never committed, so it must not count.
+        ledger, run_id = self._run_with_torn_tail(
+            tmp_path, '{"event": "stage_passed", "stage": "s", "ts": 1.0}'
+        )
+        kinds = [event["event"] for event in ledger.events(run_id)]
+        assert kinds == ["campaign_started", "stage_started"]
+        assert ledger.replay(run_id).stage_states == {"s": "running"}
+
+    def test_append_after_torn_tail_repairs_the_journal(self, tmp_path):
+        ledger, run_id = self._run_with_torn_tail(tmp_path, '{"event": "stage_pas')
+        ledger.append(run_id, {"event": "stage_passed", "stage": "s"})
+        kinds = [event["event"] for event in ledger.events(run_id)]
+        assert kinds == ["campaign_started", "stage_started", "stage_passed"]
+        raw = ledger.path(run_id).read_text()
+        assert "stage_pas{" not in raw  # fragment dropped, not concatenated
+
+    def test_follower_holds_fragment_until_newline(self, tmp_path):
+        ledger, run_id = self._run_with_torn_tail(
+            tmp_path, '{"event": "stage_passed", "stage": "s", "ts": 1.0}'
+        )
+        follower = LedgerFollower(ledger.path(run_id))
+        assert [e["event"] for e in follower.poll()] == [
+            "campaign_started",
+            "stage_started",
+        ]
+        with open(ledger.path(run_id), "a") as handle:
+            handle.write("\n")
+        assert [e["event"] for e in follower.poll()] == ["stage_passed"]
+
+
+# ----------------------------------------------------------------------
+# Tampered committed lines
+# ----------------------------------------------------------------------
+class TestTamperedJournal:
+    def _tampered(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        run_id = ledger.start_run("toy", {})
+        _started(ledger, run_id)
+        ledger.append(run_id, {"event": "stage_passed", "stage": "s"})
+        path = ledger.path(run_id)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # bit-rot a committed line
+        path.write_text("\n".join(lines) + "\n")
+        return ledger, run_id
+
+    def test_events_raises_on_committed_corruption(self, tmp_path):
+        ledger, run_id = self._tampered(tmp_path)
+        with pytest.raises(ReproError, match="malformed event at line 2"):
+            ledger.events(run_id)
+
+    def test_scan_runs_flags_not_hides(self, tmp_path):
+        ledger, run_id = self._tampered(tmp_path)
+        healthy = ledger.start_run("toy", {})
+        states, corrupt = ledger.scan_runs()
+        assert [state.run_id for state in states] == [healthy]
+        assert [entry["run_id"] for entry in corrupt] == [run_id]
+        assert "malformed" in corrupt[0]["error"]
+
+    def test_follower_skips_and_counts_what_events_rejects(self, tmp_path):
+        # The strict reader (replay/resume) refuses the journal; the watcher
+        # must instead keep watching and surface the damage as a counter.
+        ledger, run_id = self._tampered(tmp_path)
+        follower = LedgerFollower(ledger.path(run_id))
+        kinds = [event["event"] for event in follower.poll()]
+        assert kinds == ["campaign_started", "stage_passed"]
+        assert follower.malformed == 1
+        projection = CampaignProjection(run_id)
+        for event in follower.poll() or []:
+            projection.apply(event)
+
+
+# ----------------------------------------------------------------------
+# Interleaved writers
+# ----------------------------------------------------------------------
+class TestInterleavedWriters:
+    def test_two_handles_one_journal(self, tmp_path):
+        first = RunLedger(tmp_path)
+        second = RunLedger(tmp_path)  # a second process's view of the root
+        run_id = first.start_run("toy", {})
+        first.append(run_id, {"event": "stage_started", "stage": "a"})
+        second.append(run_id, {"event": "stage_started", "stage": "b"})
+        first.append(
+            run_id, {"event": "jobs_finished", "stage": "a", "job_hashes": ["h1"]}
+        )
+        second.append(
+            run_id, {"event": "jobs_finished", "stage": "b", "job_hashes": ["h2"]}
+        )
+        first.append(run_id, {"event": "stage_passed", "stage": "a"})
+        second.append(run_id, {"event": "stage_passed", "stage": "b"})
+        state = first.replay(run_id)
+        assert state.stage_states == {"a": "passed", "b": "passed"}
+        assert state.finished_jobs == {"a": ["h1"], "b": ["h2"]}
+        # Every line is whole: O_APPEND + single write never interleaves bytes.
+        for line in first.path(run_id).read_text().splitlines():
+            json.loads(line)
+
+    def test_duplicate_progress_from_retrying_writer_dedups(self, tmp_path):
+        # A BrokenProcessPool retry re-announces jobs already reported; the
+        # replay must count each hash once.
+        ledger = RunLedger(tmp_path)
+        run_id = ledger.start_run("toy", {})
+        _started(ledger, run_id)
+        for _ in range(2):
+            ledger.append(
+                run_id,
+                {"event": "jobs_progress", "stage": "s", "job_hashes": ["h1", "h2"]},
+            )
+        ledger.append(
+            run_id, {"event": "jobs_finished", "stage": "s", "job_hashes": ["h1", "h2"]}
+        )
+        state = ledger.replay(run_id)
+        assert state.finished_jobs == {"s": ["h1", "h2"]}
+        assert project_state(state).jobs_done == 2
+
+
+# ----------------------------------------------------------------------
+# Write-time validation (the guard that keeps shapes honest)
+# ----------------------------------------------------------------------
+class TestWriteValidation:
+    def test_unknown_event_kind_rejected(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        run_id = ledger.start_run("toy", {})
+        with pytest.raises(ConfigurationError, match="unknown ledger event kind"):
+            ledger.append(run_id, {"event": "stage_exploded", "stage": "s"})
+
+    def test_undeclared_field_rejected(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        run_id = ledger.start_run("toy", {})
+        with pytest.raises(ConfigurationError, match="undeclared field"):
+            ledger.append(
+                run_id, {"event": "stage_passed", "stage": "s", "mood": "great"}
+            )
+
+
+# ----------------------------------------------------------------------
+# v1 -> v2 replay compatibility
+# ----------------------------------------------------------------------
+def _write_v1_journal(tmp_path, run_id="legacy-run", with_ts=True):
+    """A journal exactly as the v1 ledger wrote it: no stage_planned, no
+    jobs_progress, and (optionally) no ``ts`` stamps at all."""
+    events = [
+        {"event": "campaign_started", "ledger_schema": 1, "campaign": "toy",
+         "params": {"seed": 4}, "runtime": {}},
+        {"event": "stage_started", "stage": "s"},
+        {"event": "jobs_finished", "stage": "s", "job_hashes": ["h1", "h2"]},
+        {"event": "stage_passed", "stage": "s"},
+        {"event": "campaign_finished"},
+    ]
+    if with_ts:
+        for index, event in enumerate(events):
+            event["ts"] = 1000.0 + index
+    path = tmp_path / f"{run_id}.jsonl"
+    path.write_text(
+        "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
+    )
+    return run_id
+
+
+class TestV1Compatibility:
+    def test_v1_journal_replays_under_v2(self, tmp_path):
+        run_id = _write_v1_journal(tmp_path)
+        state = RunLedger(tmp_path).replay(run_id)
+        assert state.finished
+        assert state.stage_states == {"s": "passed"}
+        assert state.finished_jobs == {"s": ["h1", "h2"]}
+        assert state.planned_jobs == {}  # v2-only signal simply absent
+        assert state.created_at == 1000.0
+
+    def test_v1_journal_projects_and_reports(self, tmp_path):
+        run_id = _write_v1_journal(tmp_path)
+        projection = project_state(RunLedger(tmp_path).replay(run_id))
+        assert projection.status == "finished"
+        assert projection.jobs_done == 2
+        assert projection.jobs_planned is None  # never planned -> honest "?"
+        assert projection.eta_seconds() == 0.0  # terminal
+        (stage,) = projection.stages
+        assert stage.state == "passed"
+        assert stage.completion == 1.0  # passed stage without a plan is done
+
+    def test_missing_head_ts_falls_back_to_mtime(self, tmp_path):
+        # The old behavior pinned created_at to 0.0, sorting the run *last*
+        # in `campaign list` despite being the newest journal on disk.
+        import os
+
+        run_id = _write_v1_journal(tmp_path, run_id="no-ts", with_ts=False)
+        ledger = RunLedger(tmp_path)
+        state = ledger.replay(run_id)
+        assert state.created_at == pytest.approx(
+            os.path.getmtime(ledger.path(run_id))
+        )
+        assert state.created_at > 0.0
+
+    def test_mixed_age_runs_sort_by_honest_creation_signal(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        _write_v1_journal(tmp_path, run_id="no-ts", with_ts=False)
+        stamped = ledger.start_run("toy", {})  # stamped with real wall time
+        runs = ledger.list_runs()
+        # Both were written "now"; neither may sink to the epoch-0 bottom.
+        assert {state.run_id for state in runs} == {"no-ts", stamped}
+        assert all(state.created_at > 0.0 for state in runs)
+
+    def test_current_schema_version_is_two(self):
+        assert LEDGER_SCHEMA_VERSION == 2
